@@ -1,0 +1,140 @@
+package categorytree
+
+import (
+	"math"
+	"testing"
+)
+
+// fig2 is the running example of the paper (Figure 2), items a..i → 0..8.
+func fig2() *Instance {
+	return &Instance{
+		Universe: 9,
+		Sets: []InputSet{
+			{Items: NewSet(0, 1, 2, 3, 4), Weight: 2, Label: "black shirt"},
+			{Items: NewSet(0, 1), Weight: 1, Label: "black adidas shirt"},
+			{Items: NewSet(2, 3, 4, 5), Weight: 1, Label: "nike shirt"},
+			{Items: NewSet(0, 1, 5, 6, 7, 8), Weight: 1, Label: "long sleeve shirt"},
+		},
+	}
+}
+
+func TestBuildCTCRPublicAPI(t *testing.T) {
+	inst := fig2()
+	cfg := Config{Variant: PerfectRecall, Delta: 0.8}
+	res, err := BuildCTCR(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Tree, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !res.OptimalMIS {
+		t.Error("tiny instance should solve optimally")
+	}
+	// The optimal Perfect-Recall δ=0.8 score is 4 (Example 2.1).
+	if got := Score(res.Tree, inst, cfg); got != 4 {
+		t.Fatalf("score = %v, want 4", got)
+	}
+	if got := NormalizedScore(res.Tree, inst, cfg); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("normalized = %v, want 0.8", got)
+	}
+	if res.C2 <= 0 {
+		t.Error("Figure 2's input has conflicts; C2 must be positive")
+	}
+}
+
+func TestBuildCCTPublicAPI(t *testing.T) {
+	inst := fig2()
+	cfg := Config{Variant: ThresholdJaccard, Delta: 0.6}
+	res, err := BuildCCT(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Tree, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7: CCT covers all of Q at this variant.
+	if got := NormalizedScore(res.Tree, inst, cfg); got != 1 {
+		t.Fatalf("normalized = %v, want 1", got)
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	v, err := ParseVariant("perfect-recall")
+	if err != nil || v != PerfectRecall {
+		t.Fatalf("ParseVariant = %v, %v", v, err)
+	}
+}
+
+func TestConservativeUpdate(t *testing.T) {
+	inst := fig2()
+	cfg := Config{Variant: ThresholdJaccard, Delta: 0.6}
+	// An existing tree with one category the queries do not demand.
+	existing := NewTree(NewSet(0, 1, 2, 3, 4, 5, 6, 7, 8))
+	existing.AddCategory(nil, NewSet(6, 7, 8), "accessories")
+
+	res, err := ConservativeUpdate(existing, inst, cfg, UpdateOptions{ExistingWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a dominant weight, the existing category must be covered.
+	var covered bool
+	res.Tree.Walk(func(n *Node) {
+		if NewSet(6, 7, 8).Jaccard(n.Items) >= 0.6 {
+			covered = true
+		}
+	})
+	if !covered {
+		t.Fatal("heavily weighted existing category not preserved")
+	}
+
+	if _, err := ConservativeUpdate(existing, inst, cfg, UpdateOptions{}); err == nil {
+		t.Fatal("zero ExistingWeight must be rejected")
+	}
+}
+
+func TestRebuildSubtree(t *testing.T) {
+	inst := fig2()
+	cfg := Config{Variant: ThresholdJaccard, Delta: 0.6}
+	res, err := BuildCTCR(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Score(res.Tree, inst, cfg)
+
+	// Rebuild the subtree under the child containing q2's result set.
+	var target *Node
+	for _, ch := range res.Tree.Root().Children() {
+		if inst.Sets[2].Items.SubsetOf(ch.Items) || float64(inst.Sets[2].Items.IntersectSize(ch.Items)) >= 0.8*float64(inst.Sets[2].Items.Len()) {
+			target = ch
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no child mostly containing an input set in this construction")
+	}
+	if err := RebuildSubtree(res.Tree, target, inst, cfg, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Tree, cfg); err != nil {
+		t.Fatalf("tree invalid after subtree rebuild: %v", err)
+	}
+	after := Score(res.Tree, inst, cfg)
+	if after < before-1e-9 {
+		t.Fatalf("subtree rebuild lost score: %v -> %v", before, after)
+	}
+}
+
+func TestRebuildSubtreeErrors(t *testing.T) {
+	inst := fig2()
+	cfg := Config{Variant: ThresholdJaccard, Delta: 0.6}
+	tr := NewTree(NewSet(0, 1))
+	empty := tr.AddCategory(nil, nil, "empty")
+	if err := RebuildSubtree(tr, empty, inst, cfg, 0.8); err == nil {
+		t.Fatal("empty subtree must error")
+	}
+	lonely := tr.AddCategory(nil, NewSet(0), "lonely")
+	if err := RebuildSubtree(tr, lonely, inst, cfg, 0.99); err == nil {
+		t.Fatal("no contained input sets must error")
+	}
+}

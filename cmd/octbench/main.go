@@ -1,0 +1,52 @@
+// Command octbench regenerates the paper's evaluation artifacts: every
+// figure (8a-8h), Table 1, the train/test robustness run, the cohesiveness
+// comparison, and the query-merging ablation.
+//
+// Usage:
+//
+//	octbench -exp fig8a -scale 0.05 -step 0.05
+//	octbench -exp all   -scale 0.02            # CI-sized full sweep
+//	octbench -exp fig8f -scale 1               # paper-scale scalability run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"categorytree/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'; known: "+fmt.Sprint(experiments.IDs()))
+		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper scale)")
+		step    = flag.Float64("step", 0.05, "δ sweep step (paper: 0.01)")
+		repeats = flag.Int("repeats", 5, "train/test split repetitions (paper: 50)")
+		seed    = flag.Int64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:            *scale,
+		DeltaStep:        *step,
+		TrainTestRepeats: *repeats,
+		Seed:             *seed,
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,46 @@
+// Command octdiff compares two category trees — typically the current
+// production tree and a freshly built one — and reports matched, added,
+// removed, drifted, and reparented categories plus an overall stability
+// score, supporting the conservative-update review of Section 2.3.
+//
+//	octdiff -old existing.json -new tree.json -match 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"categorytree/internal/tree"
+	"categorytree/internal/treediff"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "existing.json", "baseline tree JSON")
+		newPath = flag.String("new", "tree.json", "candidate tree JSON")
+		matchAt = flag.Float64("match", 0.5, "minimum Jaccard for two categories to count as the same")
+	)
+	flag.Parse()
+
+	oldT := load(*oldPath)
+	newT := load(*newPath)
+	rep := treediff.Diff(oldT, newT, *matchAt)
+	rep.Render(os.Stdout)
+}
+
+func load(path string) *tree.Tree {
+	f, err := os.Open(path)
+	fatal(err)
+	t, err := tree.ReadJSON(f)
+	fatal(err)
+	fatal(f.Close())
+	return t
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octdiff:", err)
+		os.Exit(1)
+	}
+}

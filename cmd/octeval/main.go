@@ -1,0 +1,74 @@
+// Command octeval scores an existing category tree against an OCT instance:
+// overall and per-variant normalized scores, coverage counts, and model
+// validity — the tool a taxonomist would use to audit a hand-edited tree.
+//
+// Usage:
+//
+//	octeval -in instance.json -tree tree.json -variant threshold-jaccard -delta 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"categorytree"
+	"categorytree/internal/metrics"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "instance.json", "OCT instance file")
+		treePath = flag.String("tree", "tree.json", "tree JSON file")
+		variant  = flag.String("variant", "threshold-jaccard", "similarity variant")
+		delta    = flag.Float64("delta", 0.8, "threshold δ")
+		bound    = flag.Int("bound", 1, "per-item branch bound")
+		all      = flag.Bool("all-variants", false, "score under every variant")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	fatal(err)
+	inst, err := oct.ReadJSON(f)
+	fatal(err)
+	fatal(f.Close())
+
+	tf, err := os.Open(*treePath)
+	fatal(err)
+	tr, err := tree.ReadJSON(tf)
+	fatal(err)
+	fatal(tf.Close())
+
+	v, err := categorytree.ParseVariant(*variant)
+	fatal(err)
+	cfg := categorytree.Config{Variant: v, Delta: *delta, DefaultItemBound: *bound}
+
+	if err := categorytree.Validate(tr, cfg); err != nil {
+		fmt.Printf("VALIDITY: %v\n", err)
+	} else {
+		fmt.Println("VALIDITY: ok")
+	}
+
+	report := func(cfg categorytree.Config) {
+		st := metrics.Coverage(inst, cfg, tr)
+		fmt.Printf("%-18s δ=%.2f  normalized=%.4f  covered=%d/%d  coveredWeight=%.1f%%\n",
+			cfg.Variant, cfg.Delta, st.Normalized, st.Covered, st.Total, st.CoveredWeightShare*100)
+	}
+	if *all {
+		for _, vv := range sim.Variants() {
+			report(categorytree.Config{Variant: vv, Delta: *delta, DefaultItemBound: *bound})
+		}
+	} else {
+		report(cfg)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octeval:", err)
+		os.Exit(1)
+	}
+}

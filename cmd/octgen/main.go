@@ -1,0 +1,74 @@
+// Command octgen generates a synthetic evaluation dataset (catalog, query
+// log, preprocessing) and writes the resulting OCT instance — plus
+// optionally the existing tree and the product titles — to disk.
+//
+// Usage:
+//
+//	octgen -dataset C -scale 0.05 -variant threshold-jaccard -delta 0.8 \
+//	       -out instance.json -tree existing.json -titles titles.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"categorytree/internal/dataset"
+	"categorytree/internal/sim"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "A", "dataset letter (A, B, C, D, E)")
+		scale   = flag.Float64("scale", 0.05, "size factor relative to the paper's scale (1 = full)")
+		variant = flag.String("variant", "threshold-jaccard", "similarity variant (sets the preprocessing thresholds)")
+		delta   = flag.Float64("delta", 0.8, "threshold δ")
+		out     = flag.String("out", "instance.json", "output path for the OCT instance")
+		treeOut = flag.String("tree", "", "optional output path for the existing tree")
+		titles  = flag.String("titles", "", "optional output path for product titles (one per line)")
+	)
+	flag.Parse()
+
+	spec, err := dataset.ByName(*name)
+	fatal(err)
+	v, err := sim.ParseVariant(*variant)
+	fatal(err)
+
+	bundle, err := dataset.Generate(spec.Scale(*scale), v, *delta)
+	fatal(err)
+
+	f, err := os.Create(*out)
+	fatal(err)
+	fatal(bundle.Instance.WriteJSON(f))
+	fatal(f.Close())
+	fmt.Printf("dataset %s at scale %g: %d items, %d raw queries -> %d input sets (%+v)\n",
+		spec.Name, *scale, bundle.Catalog.Len(), len(bundle.Log), bundle.Instance.N(), bundle.Stats)
+	fmt.Printf("instance written to %s\n", *out)
+
+	if *treeOut != "" {
+		tf, err := os.Create(*treeOut)
+		fatal(err)
+		fatal(bundle.Existing.WriteJSON(tf))
+		fatal(tf.Close())
+		fmt.Printf("existing tree written to %s\n", *treeOut)
+	}
+	if *titles != "" {
+		tf, err := os.Create(*titles)
+		fatal(err)
+		w := bufio.NewWriter(tf)
+		for _, title := range bundle.Catalog.Titles() {
+			fmt.Fprintln(w, title)
+		}
+		fatal(w.Flush())
+		fatal(tf.Close())
+		fmt.Printf("titles written to %s\n", *titles)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octgen:", err)
+		os.Exit(1)
+	}
+}

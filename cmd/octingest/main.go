@@ -1,0 +1,64 @@
+// Command octingest converts real-world CSV data — a product list and a
+// query log in the shape of the paper's public datasets (CrowdFlower,
+// HomeDepot, BestBuy) — into an OCT instance file ready for cmd/octtree.
+//
+//	octingest -products products.csv -queries queries.csv \
+//	          -relevance 0.8 -topk 400 -out instance.json
+//
+// products.csv needs a "title" column (optional dense "id"); queries.csv a
+// "query" column (optional "frequency"; uniform 1 otherwise, as the paper
+// used for public data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"categorytree/internal/ingest"
+)
+
+func main() {
+	var (
+		products  = flag.String("products", "products.csv", "product CSV (title[, id] columns)")
+		queries   = flag.String("queries", "queries.csv", "query-log CSV (query[, frequency] columns)")
+		relevance = flag.Float64("relevance", 0.8, "relevance threshold for result sets")
+		topk      = flag.Int("topk", 400, "result-set size cap")
+		minHits   = flag.Int("minhits", 1, "drop queries with fewer results")
+		out       = flag.String("out", "instance.json", "output instance path")
+	)
+	flag.Parse()
+
+	pf, err := os.Open(*products)
+	fatal(err)
+	titles, err := ingest.Products(pf)
+	fatal(err)
+	fatal(pf.Close())
+
+	qf, err := os.Open(*queries)
+	fatal(err)
+	qs, err := ingest.Queries(qf)
+	fatal(err)
+	fatal(qf.Close())
+
+	inst, err := ingest.BuildInstance(titles, qs, ingest.Options{
+		Relevance:  *relevance,
+		MaxResults: *topk,
+		MinResults: *minHits,
+	})
+	fatal(err)
+
+	f, err := os.Create(*out)
+	fatal(err)
+	fatal(inst.WriteJSON(f))
+	fatal(f.Close())
+	fmt.Printf("ingested %d products and %d queries -> %d input sets written to %s\n",
+		len(titles), len(qs), inst.N(), *out)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octingest:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command octserve serves a built category tree for browsing — the
+// "browsing-style information access" a category tree exists to provide —
+// plus a JSON API used by dashboards and the simulated-navigation endpoint.
+//
+//	octserve -tree tree.json -in instance.json -titles titles.txt -addr :8080
+//
+// Endpoints:
+//
+//	GET /                    HTML tree browser (plain nested lists)
+//	GET /api/tree            full tree as JSON
+//	GET /api/category?id=N   one category: label, items, children, titles
+//	GET /api/navigate?items=1,2,3
+//	                         simulated browse-then-filter session for an
+//	                         ad-hoc target set
+//	GET /api/coverage        per-input-set cover scores (needs -in)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+func main() {
+	var (
+		treePath = flag.String("tree", "tree.json", "tree JSON file")
+		in       = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
+		titles   = flag.String("titles", "", "optional titles file, one per item line")
+		variant  = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
+		delta    = flag.Float64("delta", 0.8, "threshold δ for coverage")
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+	)
+	flag.Parse()
+
+	tf, err := os.Open(*treePath)
+	fatal(err)
+	tr, err := tree.ReadJSON(tf)
+	fatal(err)
+	fatal(tf.Close())
+
+	var inst *oct.Instance
+	if *in != "" {
+		f, err := os.Open(*in)
+		fatal(err)
+		inst, err = oct.ReadJSON(f)
+		fatal(err)
+		fatal(f.Close())
+	}
+
+	srv, err := newServer(tr, inst, *titles, *variant, *delta)
+	fatal(err)
+	log.Printf("octserve: browsing %d categories on http://%s/", tr.Len(), *addr)
+	fatal(http.ListenAndServe(*addr, srv))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octserve:", err)
+		os.Exit(1)
+	}
+}

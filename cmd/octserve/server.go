@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"categorytree/internal/facet"
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+// server holds the immutable serving state.
+type server struct {
+	tree   *tree.Tree
+	inst   *oct.Instance
+	titles []string
+	cfg    oct.Config
+	mux    *http.ServeMux
+}
+
+// newServer wires the handler. titlesPath and inst may be empty/nil.
+func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, delta float64) (*server, error) {
+	v, err := sim.ParseVariant(variant)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		tree: tr,
+		inst: inst,
+		cfg:  oct.Config{Variant: v, Delta: delta},
+		mux:  http.NewServeMux(),
+	}
+	if titlesPath != "" {
+		f, err := os.Open(titlesPath)
+		if err != nil {
+			return nil, fmt.Errorf("octserve: titles: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			s.titles = append(s.titles, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/tree", s.handleTree)
+	s.mux.HandleFunc("/api/category", s.handleCategory)
+	s.mux.HandleFunc("/api/navigate", s.handleNavigate)
+	s.mux.HandleFunc("/api/coverage", s.handleCoverage)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!doctype html><title>category tree</title><h1>Category tree</h1>\n")
+	var rec func(n *tree.Node)
+	rec = func(n *tree.Node) {
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("category-%d", n.ID)
+		}
+		fmt.Fprintf(w, "<li><a href=\"/api/category?id=%d\">%s</a> (%d items)\n",
+			n.ID, html.EscapeString(label), n.Items.Len())
+		if len(n.Children()) > 0 {
+			fmt.Fprint(w, "<ul>\n")
+			for _, c := range n.Children() {
+				rec(c)
+			}
+			fmt.Fprint(w, "</ul>\n")
+		}
+		fmt.Fprint(w, "</li>\n")
+	}
+	fmt.Fprint(w, "<ul>\n")
+	rec(s.tree.Root())
+	fmt.Fprint(w, "</ul>\n")
+}
+
+func (s *server) handleTree(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tree.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// categoryView is the /api/category response shape.
+type categoryView struct {
+	ID       int      `json:"id"`
+	Label    string   `json:"label"`
+	Size     int      `json:"size"`
+	Depth    int      `json:"depth"`
+	Parent   *int     `json:"parent,omitempty"`
+	Children []int    `json:"children"`
+	Covers   []int    `json:"covers,omitempty"`
+	Titles   []string `json:"titles,omitempty"`
+}
+
+func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "octserve: id must be an integer", http.StatusBadRequest)
+		return
+	}
+	n := s.tree.Node(id)
+	if n == nil {
+		http.Error(w, "octserve: no such category", http.StatusNotFound)
+		return
+	}
+	view := categoryView{ID: n.ID, Label: n.Label, Size: n.Items.Len(), Depth: n.Depth(), Children: []int{}}
+	if p := n.Parent(); p != nil {
+		pid := p.ID
+		view.Parent = &pid
+	}
+	for _, c := range n.Children() {
+		view.Children = append(view.Children, c.ID)
+	}
+	for _, cv := range n.Covers {
+		view.Covers = append(view.Covers, int(cv))
+	}
+	const maxTitles = 25
+	for _, it := range n.Items.Slice() {
+		if int(it) < len(s.titles) {
+			view.Titles = append(view.Titles, s.titles[it])
+			if len(view.Titles) >= maxTitles {
+				break
+			}
+		}
+	}
+	writeJSON(w, view)
+}
+
+func (s *server) handleNavigate(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("items")
+	if raw == "" {
+		http.Error(w, "octserve: items parameter required (comma-separated ids)", http.StatusBadRequest)
+		return
+	}
+	var items []intset.Item
+	for _, part := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			http.Error(w, "octserve: bad item id "+part, http.StatusBadRequest)
+			return
+		}
+		items = append(items, intset.Item(v))
+	}
+	res := facet.Navigate(s.tree, intset.New(items...))
+	writeJSON(w, map[string]interface{}{
+		"category":    res.Node.ID,
+		"label":       res.Node.Label,
+		"depth":       res.Depth,
+		"precision":   res.Precision,
+		"filterSteps": res.FilterSteps,
+	})
+}
+
+func (s *server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	if s.inst == nil {
+		http.Error(w, "octserve: no instance loaded (-in)", http.StatusNotFound)
+		return
+	}
+	scorer := tree.NewScorer(s.tree)
+	per := scorer.PerSetScores(s.inst, s.cfg)
+	type row struct {
+		Label  string  `json:"label"`
+		Weight float64 `json:"weight"`
+		Score  float64 `json:"score"`
+	}
+	out := make([]row, len(per))
+	for i, sc := range per {
+		out[i] = row{Label: s.inst.Sets[i].Label, Weight: s.inst.Sets[i].Weight, Score: sc}
+	}
+	writeJSON(w, map[string]interface{}{
+		"variant":    s.cfg.Variant.String(),
+		"delta":      s.cfg.Delta,
+		"normalized": scorer.NormalizedScore(s.inst, s.cfg),
+		"sets":       out,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

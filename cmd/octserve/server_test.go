@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	tr := tree.New(intset.Range(0, 6))
+	a := tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
+	tr.AddCategory(a, intset.New(0, 1), "nike shirts")
+	tr.AddCategory(nil, intset.New(3, 4, 5), "cameras")
+	inst := &oct.Instance{Universe: 6, Sets: []oct.InputSet{
+		{Items: intset.New(0, 1, 2), Weight: 2, Label: "shirts"},
+		{Items: intset.New(3, 4), Weight: 1, Label: "cameras"},
+	}}
+	s, err := newServer(tr, inst, "", "threshold-jaccard", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexRendersTree(t *testing.T) {
+	rec := get(t, testServer(t), "/")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"shirts", "cameras", "nike shirts", "(6 items)"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestCategoryEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/category?id=1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var view categoryView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Label != "shirts" || view.Size != 3 || len(view.Children) != 1 {
+		t.Fatalf("view = %+v", view)
+	}
+	if view.Parent == nil || *view.Parent != 0 {
+		t.Fatalf("parent = %v", view.Parent)
+	}
+	if rec := get(t, s, "/api/category?id=999"); rec.Code != 404 {
+		t.Fatalf("missing category: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/category?id=x"); rec.Code != 400 {
+		t.Fatalf("bad id: status %d", rec.Code)
+	}
+}
+
+func TestNavigateEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/navigate?items=0,1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["label"] != "nike shirts" || out["precision"].(float64) != 1 {
+		t.Fatalf("navigate = %v", out)
+	}
+	if rec := get(t, s, "/api/navigate"); rec.Code != 400 {
+		t.Fatalf("missing items: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/navigate?items=a"); rec.Code != 400 {
+		t.Fatalf("bad items: status %d", rec.Code)
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/coverage")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Normalized float64 `json:"normalized"`
+		Sets       []struct {
+			Label string  `json:"label"`
+			Score float64 `json:"score"`
+		} `json:"sets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sets) != 2 || out.Sets[0].Score != 1 {
+		t.Fatalf("coverage = %+v", out)
+	}
+	// "cameras" query {3,4} vs category {3,4,5}: J = 2/3 ≥ 0.6 → covered.
+	if out.Sets[1].Score != 1 {
+		t.Fatalf("cameras score = %v", out.Sets[1].Score)
+	}
+	if out.Normalized != 1 {
+		t.Fatalf("normalized = %v", out.Normalized)
+	}
+
+	// Without an instance the endpoint 404s.
+	tr := tree.New(nil)
+	s2, err := newServer(tr, nil, "", "exact", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, s2, "/api/coverage"); rec.Code != 404 {
+		t.Fatalf("no-instance coverage: status %d", rec.Code)
+	}
+}
+
+func TestTreeEndpointRoundTrips(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/tree")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	got, err := tree.ReadJSON(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.tree.Len() {
+		t.Fatalf("round trip %d categories, want %d", got.Len(), s.tree.Len())
+	}
+}
+
+func TestNewServerRejectsBadVariant(t *testing.T) {
+	if _, err := newServer(tree.New(nil), nil, "", "nope", 0.5); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command octtree builds a category tree from an OCT instance file using
+// CTCR or CCT, renders it, and optionally writes it as JSON.
+//
+// Usage:
+//
+//	octtree -in instance.json -algo ctcr -variant threshold-jaccard \
+//	        -delta 0.8 -out tree.json -render
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"categorytree"
+	"categorytree/internal/metrics"
+	"categorytree/internal/oct"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "instance.json", "OCT instance file")
+		algo    = flag.String("algo", "ctcr", "algorithm: ctcr or cct")
+		variant = flag.String("variant", "threshold-jaccard", "similarity variant")
+		delta   = flag.Float64("delta", 0.8, "threshold δ")
+		bound   = flag.Int("bound", 1, "per-item branch bound")
+		out     = flag.String("out", "", "optional output path for the tree JSON")
+		render  = flag.Bool("render", true, "print an ASCII rendering")
+		maxItem = flag.Int("renderitems", 0, "render item lists for categories up to this size")
+		titles  = flag.String("titles", "", "optional titles file: label unlabeled categories from item titles")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	fatal(err)
+	inst, err := oct.ReadJSON(f)
+	fatal(err)
+	fatal(f.Close())
+
+	v, err := categorytree.ParseVariant(*variant)
+	fatal(err)
+	cfg := categorytree.Config{Variant: v, Delta: *delta, DefaultItemBound: *bound}
+
+	var tr *categorytree.Tree
+	switch *algo {
+	case "ctcr":
+		res, err := categorytree.BuildCTCR(inst, cfg)
+		fatal(err)
+		tr = res.Tree
+		fmt.Printf("CTCR: %d/%d sets selected, %d 2-conflicts, %d 3-conflicts, MIS optimal=%v, C2=%.2f\n",
+			len(res.Selected), inst.N(), res.Conflicts2, res.Conflicts3, res.OptimalMIS, res.C2)
+	case "cct":
+		res, err := categorytree.BuildCCT(inst, cfg)
+		fatal(err)
+		tr = res.Tree
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want ctcr or cct)", *algo))
+	}
+
+	fatal(categorytree.Validate(tr, cfg))
+	if *titles != "" {
+		tf, err := os.Open(*titles)
+		fatal(err)
+		var lines []string
+		sc := bufio.NewScanner(tf)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		fatal(sc.Err())
+		fatal(tf.Close())
+		metrics.SuggestLabels(tr, lines, 2)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("tree: %d categories, %d leaves, depth %d, %d items\n", st.Categories, st.Leaves, st.MaxDepth, st.Items)
+	fmt.Printf("normalized score: %.4f\n", categorytree.NormalizedScore(tr, inst, cfg))
+
+	if *render {
+		tr.Render(os.Stdout, *maxItem)
+	}
+	if *out != "" {
+		of, err := os.Create(*out)
+		fatal(err)
+		fatal(tr.WriteJSON(of))
+		fatal(of.Close())
+		fmt.Printf("tree written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octtree:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package categorytree_test
+
+import (
+	"fmt"
+	"os"
+
+	ct "categorytree"
+)
+
+// The input of the paper's Figure 2: four candidate categories over nine
+// shirts, weighted by query frequency.
+func fig2() *ct.Instance {
+	return &ct.Instance{
+		Universe: 9,
+		Sets: []ct.InputSet{
+			{Items: ct.NewSet(0, 1, 2, 3, 4), Weight: 2, Label: "black shirt"},
+			{Items: ct.NewSet(0, 1), Weight: 1, Label: "black adidas shirt"},
+			{Items: ct.NewSet(2, 3, 4, 5), Weight: 1, Label: "nike shirt"},
+			{Items: ct.NewSet(0, 1, 5, 6, 7, 8), Weight: 1, Label: "long sleeve shirt"},
+		},
+	}
+}
+
+func ExampleBuildCTCR() {
+	inst := fig2()
+	cfg := ct.Config{Variant: ct.PerfectRecall, Delta: 0.8}
+	res, err := ct.BuildCTCR(inst, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("selected %d of %d sets, %d conflicts, optimal=%v\n",
+		len(res.Selected), inst.N(), res.Conflicts2, res.OptimalMIS)
+	fmt.Printf("normalized score: %.2f\n", ct.NormalizedScore(res.Tree, inst, cfg))
+	// Output:
+	// selected 3 of 4 sets, 2 conflicts, optimal=true
+	// normalized score: 0.80
+}
+
+func ExampleBuildCCT() {
+	inst := fig2()
+	cfg := ct.Config{Variant: ct.ThresholdJaccard, Delta: 0.6}
+	res, err := ct.BuildCCT(inst, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("normalized score: %.2f\n", ct.NormalizedScore(res.Tree, inst, cfg))
+	// Output:
+	// normalized score: 1.00
+}
+
+func ExampleBuildCTCR_exactVariant() {
+	inst := fig2()
+	cfg := ct.Config{Variant: ct.Exact}
+	res, err := ct.BuildCTCR(inst, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The Exact variant with an exact MIS solve is provably optimal
+	// (Theorem 3.1): it covers the maximum-weight conflict-free subset.
+	fmt.Printf("score %.0f of %.0f, C2 bound %.1f\n",
+		ct.Score(res.Tree, inst, cfg), inst.TotalWeight(), res.C2)
+	// Output:
+	// score 3 of 5, C2 bound 1.6
+}
+
+func ExampleConservativeUpdate() {
+	inst := fig2()
+	existing := ct.NewTree(ct.NewSet(0, 1, 2, 3, 4, 5, 6, 7, 8))
+	existing.AddCategory(nil, ct.NewSet(6, 7, 8), "accessories")
+
+	cfg := ct.Config{Variant: ct.ThresholdJaccard, Delta: 0.6}
+	res, err := ct.ConservativeUpdate(existing, inst, cfg, ct.UpdateOptions{ExistingWeight: 5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var kept bool
+	res.Tree.Walk(func(n *ct.Node) {
+		if ct.NewSet(6, 7, 8).Jaccard(n.Items) >= 0.6 {
+			kept = true
+		}
+	})
+	fmt.Println("existing category preserved:", kept)
+	// Output:
+	// existing category preserved: true
+}
+
+func ExampleTree_Render() {
+	inst := fig2()
+	cfg := ct.Config{Variant: ct.Exact}
+	res, _ := ct.BuildCTCR(inst, cfg)
+	res.Tree.SortChildren()
+	res.Tree.Render(os.Stdout, 0)
+	// Output:
+	// root (9 items)
+	// ├── black shirt (5 items) covers[q0]
+	// │   └── black adidas shirt (2 items) covers[q1]
+	// └── misc (4 items)
+}

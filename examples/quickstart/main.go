@@ -1,0 +1,61 @@
+// Quickstart: the paper's running example (Figure 2) end to end.
+//
+// Nine shirts {a..i} → items 0..8, four candidate categories derived from
+// search queries, and two problem variants: Perfect-Recall with δ = 0.8
+// (tree T1 of the paper) and cutoff Jaccard with δ = 0.6 (tree T2). Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ct "categorytree"
+)
+
+func main() {
+	// The catalog: a=0 .. i=8 (see Figure 3 of the paper: Adidas/Nike/...
+	// shirts in various colors and sleeve lengths).
+	inst := &ct.Instance{
+		Universe: 9,
+		Sets: []ct.InputSet{
+			{Items: ct.NewSet(0, 1, 2, 3, 4), Weight: 2, Label: "black shirt"},
+			{Items: ct.NewSet(0, 1), Weight: 1, Label: "black adidas shirt"},
+			{Items: ct.NewSet(2, 3, 4, 5), Weight: 1, Label: "nike shirt"},
+			{Items: ct.NewSet(0, 1, 5, 6, 7, 8), Weight: 1, Label: "long sleeve shirt"},
+		},
+	}
+
+	fmt.Println("=== Perfect-Recall, δ = 0.8 (Example 2.1) ===")
+	cfg := ct.Config{Variant: ct.PerfectRecall, Delta: 0.8}
+	res, err := ct.BuildCTCR(inst, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Tree.Render(os.Stdout, 10)
+	fmt.Printf("score: %.2f of %.2f (normalized %.3f), conflicts: %d pairs / %d triples, MIS optimal: %v\n\n",
+		ct.Score(res.Tree, inst, cfg), inst.TotalWeight(),
+		ct.NormalizedScore(res.Tree, inst, cfg), res.Conflicts2, res.Conflicts3, res.OptimalMIS)
+
+	fmt.Println("=== cutoff Jaccard, δ = 0.6 (Example 2.2) ===")
+	cfg = ct.Config{Variant: ct.CutoffJaccard, Delta: 0.6}
+	res, err = ct.BuildCTCR(inst, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Tree.Render(os.Stdout, 10)
+	fmt.Printf("score: %.3f (the optimum for this variant is 4+5/12 ≈ 4.417)\n\n",
+		ct.Score(res.Tree, inst, cfg))
+
+	fmt.Println("=== CCT on the same input (Figure 7) ===")
+	cfg = ct.Config{Variant: ct.ThresholdJaccard, Delta: 0.6}
+	cctRes, err := ct.BuildCCT(inst, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cctRes.Tree.Render(os.Stdout, 10)
+	fmt.Printf("normalized score: %.3f (Figure 7: CCT covers all four sets)\n",
+		ct.NormalizedScore(cctRes.Tree, inst, cfg))
+}

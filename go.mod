@@ -1,0 +1,3 @@
+module categorytree
+
+go 1.22

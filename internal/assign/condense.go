@@ -1,0 +1,163 @@
+package assign
+
+import (
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+// Condense applies the tree-condensing steps of Algorithm 1 (lines 24-25),
+// shared by CTCR and CCT for δ < 1 variants:
+//
+//  1. remove items that appear only in uncovered input sets (they were
+//     spent on covers that failed; dropping them can only raise precision);
+//  2. remove every category that covers no input set, keeping for each
+//     covered set the covering category with the highest precision.
+//
+// Coverage is evaluated against the whole tree, so sets covered
+// incidentally by another set's category are preserved.
+func Condense(inst *oct.Instance, cfg oct.Config, t *tree.Tree) {
+	// Pass 1: drop items appearing only in uncovered sets. The root is
+	// never a cover candidate: it will grow to the full universe when
+	// C_misc is added, so any cover it provides now is illusory.
+	ix := indexTree(t)
+	coveredSet := make([]bool, inst.N())
+	for i, s := range inst.Sets {
+		if n, _ := ix.bestByPrecision(cfg, s); n != nil {
+			coveredSet[i] = true
+		}
+	}
+	inCovered := make(map[intset.Item]bool)
+	inAny := make(map[intset.Item]bool)
+	for i, s := range inst.Sets {
+		for _, it := range s.Items.Slice() {
+			inAny[it] = true
+			if coveredSet[i] {
+				inCovered[it] = true
+			}
+		}
+	}
+	var stale []intset.Item
+	for it := range inAny {
+		if !inCovered[it] {
+			stale = append(stale, it)
+		}
+	}
+	if len(stale) > 0 {
+		rm := intset.New(stale...)
+		for _, ch := range t.Root().Children() {
+			t.RemoveItems(ch, rm)
+		}
+	}
+
+	// Pass 2: keep only covering categories (recomputed after removal).
+	ix = indexTree(t)
+	keep := make(map[int]bool)
+	for i, s := range inst.Sets {
+		node, sc := ix.bestByPrecision(cfg, s)
+		if sc > 0 && node != nil {
+			keep[node.ID] = true
+			node.Covers = append(node.Covers, oct.SetID(i))
+			if node.Label == "" {
+				node.Label = s.Label
+			}
+		}
+	}
+	removeNonKeepers(t, keep)
+}
+
+// coverIndex is an item → categories inverted index over a tree's non-root
+// categories, making per-set cover searches proportional to the candidates
+// that actually intersect the set (every variant scores 0 on disjoint
+// categories). Without it, condensing large instances walks
+// |Q| × |categories| pairs and dominates whole-pipeline run time.
+type coverIndex struct {
+	nodes    []*tree.Node
+	postings map[intset.Item][]int32
+}
+
+func indexTree(t *tree.Tree) *coverIndex {
+	ix := &coverIndex{postings: make(map[intset.Item][]int32)}
+	t.Walk(func(n *tree.Node) {
+		if n == t.Root() {
+			return // the root later absorbs the whole universe
+		}
+		idx := int32(len(ix.nodes))
+		ix.nodes = append(ix.nodes, n)
+		for _, it := range n.Items.Slice() {
+			ix.postings[it] = append(ix.postings[it], idx)
+		}
+	})
+	return ix
+}
+
+// bestByPrecision returns the covering category of s with the highest
+// precision ("if a set is covered by multiple categories, we retain the one
+// with the highest precision").
+func (ix *coverIndex) bestByPrecision(cfg oct.Config, s oct.InputSet) (*tree.Node, float64) {
+	inter := make(map[int32]int)
+	for _, it := range s.Items.Slice() {
+		for _, idx := range ix.postings[it] {
+			inter[idx]++
+		}
+	}
+	var best *tree.Node
+	bestPrec := -1.0
+	bestDepth := -1
+	bestScore := 0.0
+	delta := cfg.Delta0(s)
+	for idx, in := range inter {
+		n := ix.nodes[idx]
+		sc := cutoffScoreFromSizes(cfg.Variant, s.Items.Len(), n.Items.Len(), in, delta)
+		if sc <= 0 {
+			continue
+		}
+		prec := float64(in) / float64(n.Items.Len())
+		// Highest precision wins; among equal precision the higher cutoff
+		// score (better recall), then the more specific category, then the
+		// lowest ID for determinism.
+		d := n.Depth()
+		better := prec > bestPrec ||
+			(prec == bestPrec && sc > bestScore) ||
+			(prec == bestPrec && sc == bestScore && d > bestDepth) ||
+			(prec == bestPrec && sc == bestScore && d == bestDepth && (best == nil || n.ID < best.ID))
+		if better {
+			best, bestPrec, bestDepth, bestScore = n, prec, d, sc
+		}
+	}
+	return best, bestScore
+}
+
+// removeNonKeepers splices out every non-root category not marked kept.
+// Removal splices children upward, so victims collected up front remain
+// attached (possibly to new parents) when their turn comes.
+func removeNonKeepers(t *tree.Tree, keep map[int]bool) {
+	var victims []*tree.Node
+	t.Walk(func(n *tree.Node) {
+		if n != t.Root() && !keep[n.ID] {
+			victims = append(victims, n)
+		}
+	})
+	for _, v := range victims {
+		t.RemoveCategory(v)
+	}
+}
+
+// AddMiscCategory adds, under the root, the C_misc category holding every
+// universe item not assigned to any child of the root (line 26 of
+// Algorithm 1), and grows the root to contain all items, as the model
+// requires.
+func AddMiscCategory(inst *oct.Instance, t *tree.Tree) *tree.Node {
+	all := intset.Range(0, intset.Item(inst.Universe))
+	var children []intset.Set
+	for _, ch := range t.Root().Children() {
+		children = append(children, ch.Items)
+	}
+	assigned := intset.UnionAll(children)
+	unassigned := all.Diff(assigned)
+	t.Root().Items = all
+	if unassigned.Empty() {
+		return nil
+	}
+	return t.AddCategory(nil, unassigned, "misc")
+}

@@ -1,0 +1,243 @@
+// Package baseline implements the comparison algorithms of Section 5.2:
+//
+//	IC-S  clusters the items directly by semantic title embeddings and
+//	      derives the tree from the item dendrogram (the adaptation of
+//	      Hsieh et al. [18], with hierarchical clustering replacing
+//	      k-means, as the paper describes);
+//	IC-Q  clusters the items by their input-set membership vectors — a
+//	      hybrid between CCT and IC-S;
+//	ET    the existing (manually built) tree, which the catalog generator
+//	      supplies and the experiments score as-is.
+//
+// Both item-clustering baselines share one pipeline: sample representative
+// items when the repository exceeds the clustering matrix bound, cluster
+// the sample, truncate the dendrogram into a category tree, and place every
+// remaining item into the nearest leaf.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"categorytree/internal/cluster"
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+	"categorytree/internal/xrand"
+)
+
+// Options tunes the item-clustering baselines.
+type Options struct {
+	// SampleLimit caps the number of items clustered with the O(n²)
+	// matrix; larger repositories are sampled and the rest nearest-leaf
+	// assigned.
+	SampleLimit int
+	// TargetLeaves approximates the number of leaf categories; 0 derives
+	// it from the instance (one per input set, a fair comparison).
+	TargetLeaves int
+	// MaxDepth bounds the tree depth.
+	MaxDepth int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultOptions returns the experiment configuration.
+func DefaultOptions() Options {
+	return Options{SampleLimit: 1200, MaxDepth: 25, Seed: 1}
+}
+
+// BuildICQ constructs the IC-Q tree: items are vectors over the input sets
+// ("the i-th entry is 1 if the item appears in the i-th input set"),
+// clustered agglomeratively under Euclidean distance.
+func BuildICQ(inst *oct.Instance, opts Options) (*tree.Tree, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	// Membership postings give Euclidean distances directly:
+	// d²(i,j) = deg(i) + deg(j) − 2·|sets(i) ∩ sets(j)|.
+	member := make([][]int32, inst.Universe)
+	for s, is := range inst.Sets {
+		for _, it := range is.Items.Slice() {
+			member[it] = append(member[it], int32(s))
+		}
+	}
+	pts := &membershipPoints{member: member}
+	return buildFromItemPoints(inst, pts, opts)
+}
+
+type membershipPoints struct {
+	member [][]int32
+}
+
+func (p *membershipPoints) Len() int { return len(p.member) }
+
+func (p *membershipPoints) Dist(i, j int) float64 {
+	a, b := p.member[i], p.member[j]
+	inter := 0
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			inter++
+			x++
+			y++
+		}
+	}
+	return math.Sqrt(float64(len(a) + len(b) - 2*inter))
+}
+
+// BuildICS constructs the IC-S tree from per-item semantic embeddings
+// (title vectors in the experiments; any dense feature works).
+func BuildICS(inst *oct.Instance, itemVecs [][]float64, opts Options) (*tree.Tree, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if len(itemVecs) != inst.Universe {
+		return nil, fmt.Errorf("baseline: %d item vectors for universe %d", len(itemVecs), inst.Universe)
+	}
+	return buildFromItemPoints(inst, &cluster.DensePoints{Rows: itemVecs}, opts)
+}
+
+// buildFromItemPoints runs the shared IC pipeline over a full item-distance
+// space.
+func buildFromItemPoints(inst *oct.Instance, p cluster.Points, opts Options) (*tree.Tree, error) {
+	if opts.SampleLimit <= 0 {
+		opts.SampleLimit = DefaultOptions().SampleLimit
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultOptions().MaxDepth
+	}
+	if opts.TargetLeaves <= 0 {
+		opts.TargetLeaves = inst.N()
+		if opts.TargetLeaves < 2 {
+			opts.TargetLeaves = 2
+		}
+	}
+	n := p.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty universe")
+	}
+
+	rng := xrand.New(opts.Seed)
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	if n > opts.SampleLimit {
+		sample = rng.SampleK(n, opts.SampleLimit)
+	}
+
+	sub := &subsetPoints{p: p, idx: sample}
+	dend, err := cluster.Agglomerative(sub)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+
+	// Truncate the dendrogram into categories: split while clusters stay
+	// above the size that would overshoot the leaf budget.
+	minSize := (len(sample) + opts.TargetLeaves - 1) / opts.TargetLeaves
+	if minSize < 2 {
+		minSize = 2
+	}
+	t := tree.New(nil)
+	var leaves []*tree.Node
+	leafMembers := make(map[int][]int) // leaf node ID -> sampled point idxs
+	var build func(id int, parent *tree.Node, depth int)
+	build = func(id int, parent *tree.Node, depth int) {
+		members := dend.Members(id)
+		if dend.IsLeaf(id) || len(members) <= minSize || depth >= opts.MaxDepth {
+			items := make([]intset.Item, len(members))
+			for k, m := range members {
+				items[k] = intset.Item(sample[m])
+			}
+			leaf := t.AddCategory(parent, intset.New(items...), "")
+			t.AddItems(leaf, nil)
+			leaves = append(leaves, leaf)
+			leafMembers[leaf.ID] = members
+			return
+		}
+		node := t.AddCategory(parent, nil, "")
+		a, b := dend.Children(id)
+		build(a, node, depth+1)
+		build(b, node, depth+1)
+	}
+	root := dend.Root()
+	if dend.IsLeaf(root) {
+		build(root, t.Root(), 1)
+	} else {
+		a, b := dend.Children(root)
+		build(a, t.Root(), 1)
+		build(b, t.Root(), 1)
+	}
+
+	// Restore the union invariant bottom-up.
+	var pull func(nd *tree.Node) intset.Set
+	pull = func(nd *tree.Node) intset.Set {
+		sets := []intset.Set{nd.Items}
+		for _, c := range nd.Children() {
+			sets = append(sets, pull(c))
+		}
+		nd.Items = intset.UnionAll(sets)
+		return nd.Items
+	}
+	pull(t.Root())
+
+	// Nearest-leaf assignment for unsampled items: average distance to a
+	// few representatives per leaf.
+	if n > len(sample) {
+		inSample := make([]bool, n)
+		for _, s := range sample {
+			inSample[s] = true
+		}
+		const reps = 5
+		repIdx := make(map[int][]int)
+		for _, leaf := range leaves {
+			m := leafMembers[leaf.ID]
+			k := reps
+			if k > len(m) {
+				k = len(m)
+			}
+			repIdx[leaf.ID] = m[:k]
+		}
+		// Batch per leaf: one union per leaf instead of one per item keeps
+		// the ancestor-set updates linear rather than quadratic.
+		pending := make(map[int][]intset.Item)
+		for it := 0; it < n; it++ {
+			if inSample[it] {
+				continue
+			}
+			var best *tree.Node
+			bestD := math.Inf(1)
+			for _, leaf := range leaves {
+				sum := 0.0
+				m := repIdx[leaf.ID]
+				for _, r := range m {
+					sum += p.Dist(it, sample[r])
+				}
+				if d := sum / float64(len(m)); d < bestD {
+					best, bestD = leaf, d
+				}
+			}
+			pending[best.ID] = append(pending[best.ID], intset.Item(it))
+		}
+		for _, leaf := range leaves {
+			if items := pending[leaf.ID]; len(items) > 0 {
+				t.AddItems(leaf, intset.New(items...))
+			}
+		}
+	}
+	return t, nil
+}
+
+// subsetPoints restricts a Points space to selected indices.
+type subsetPoints struct {
+	p   cluster.Points
+	idx []int
+}
+
+func (s *subsetPoints) Len() int              { return len(s.idx) }
+func (s *subsetPoints) Dist(i, j int) float64 { return s.p.Dist(s.idx[i], s.idx[j]) }

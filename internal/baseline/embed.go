@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"hash/fnv"
+	"math"
+
+	"categorytree/internal/text"
+)
+
+// TitleEmbeddings converts product titles into dense vectors by hashed
+// TF-IDF bag-of-words (feature hashing into dim buckets, signed to cancel
+// collisions, L2-normalized). It stands in for the domain-specific title
+// embedding model the paper's IC-S baseline uses: titles generated from
+// product attributes make lexically similar items semantically similar, so
+// nearest neighbors under this embedding share attributes just as they
+// would under a trained model.
+func TitleEmbeddings(titles []string, dim int) [][]float64 {
+	if dim <= 0 {
+		dim = 32
+	}
+	// Document frequencies over tokens.
+	df := make(map[string]int)
+	tokenized := make([][]string, len(titles))
+	for i, title := range titles {
+		toks := Tokenize(title)
+		tokenized[i] = toks
+		seen := make(map[string]bool, len(toks))
+		for _, tok := range toks {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	n := float64(len(titles))
+	// Tokens appearing in almost no documents (model numbers, SKU tails)
+	// carry no semantics but enormous idf; a trained embedding model maps
+	// them near zero, so the stand-in drops them on large corpora.
+	minDF := 1
+	if len(titles) >= 100 {
+		minDF = 3
+	}
+	vecs := make([][]float64, len(titles))
+	for i, toks := range tokenized {
+		v := make([]float64, dim)
+		counts := make(map[string]int, len(toks))
+		for _, tok := range toks {
+			counts[tok]++
+		}
+		for tok, c := range counts {
+			if df[tok] < minDF {
+				continue
+			}
+			idf := math.Log(1 + n/float64(df[tok]))
+			w := float64(c) * idf
+			bucket, sign := hashToken(tok, dim)
+			v[bucket] += sign * w
+		}
+		norm := 0.0
+		for _, x := range v {
+			norm += x * x
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for k := range v {
+				v[k] /= norm
+			}
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// Tokenize splits a title with the repository-wide tokenizer.
+func Tokenize(s string) []string { return text.Tokenize(s) }
+
+// hashToken maps a token to a bucket and a ±1 sign.
+func hashToken(tok string, dim int) (int, float64) {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	x := h.Sum64()
+	bucket := int(x % uint64(dim))
+	sign := 1.0
+	if (x>>32)&1 == 1 {
+		sign = -1
+	}
+	return bucket, sign
+}

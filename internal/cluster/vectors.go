@@ -1,0 +1,89 @@
+package cluster
+
+import "math"
+
+// SparseVec is a sparse vector stored as parallel sorted index/value
+// slices. CCT's set embeddings are sparse because only intersecting input
+// sets have nonzero similarity, and IC-Q's item membership vectors are
+// sparse because items appear in few sets.
+type SparseVec struct {
+	Idx []int32
+	Val []float64
+}
+
+// Norm2 returns ‖v‖².
+func (v SparseVec) Norm2() float64 {
+	s := 0.0
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return s
+}
+
+// Dot returns ⟨v, w⟩ by merging the sorted index lists.
+func (v SparseVec) Dot(w SparseVec) float64 {
+	s := 0.0
+	i, j := 0, 0
+	for i < len(v.Idx) && j < len(w.Idx) {
+		switch {
+		case v.Idx[i] < w.Idx[j]:
+			i++
+		case v.Idx[i] > w.Idx[j]:
+			j++
+		default:
+			s += v.Val[i] * w.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// SparsePoints adapts sparse vectors to the Points interface with Euclidean
+// distance, caching norms.
+type SparsePoints struct {
+	Vecs  []SparseVec
+	norms []float64
+}
+
+// NewSparsePoints wraps the vectors, precomputing norms.
+func NewSparsePoints(vecs []SparseVec) *SparsePoints {
+	p := &SparsePoints{Vecs: vecs, norms: make([]float64, len(vecs))}
+	for i, v := range vecs {
+		p.norms[i] = v.Norm2()
+	}
+	return p
+}
+
+// Len implements Points.
+func (p *SparsePoints) Len() int { return len(p.Vecs) }
+
+// Dist implements Points with Euclidean distance
+// √(‖a‖² + ‖b‖² − 2⟨a,b⟩), clamped at zero against rounding.
+func (p *SparsePoints) Dist(i, j int) float64 {
+	d2 := p.norms[i] + p.norms[j] - 2*p.Vecs[i].Dot(p.Vecs[j])
+	if d2 < 0 {
+		d2 = 0
+	}
+	return math.Sqrt(d2)
+}
+
+// DensePoints adapts dense row vectors to Points with Euclidean distance
+// (used by the IC-S title-embedding baseline).
+type DensePoints struct {
+	Rows [][]float64
+}
+
+// Len implements Points.
+func (p *DensePoints) Len() int { return len(p.Rows) }
+
+// Dist implements Points.
+func (p *DensePoints) Dist(i, j int) float64 {
+	a, b := p.Rows[i], p.Rows[j]
+	s := 0.0
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,431 @@
+// Package conflict implements the conflict analysis at the heart of CTCR
+// (Section 3 of the paper): deciding, for pairs of input sets, whether they
+// can be covered together (on one branch), separately (on different
+// branches), both, or neither — and deriving from these the 2-conflicts,
+// must-cover-together pairs, and 3-conflicts that form the conflict
+// (hyper)graph handed to the MIS solver.
+//
+// All pair tests are closed-form per variant (Sections 3.1-3.3):
+//
+//	Exact          together ⇔ containment; separately ⇔ disjoint.
+//	Perfect-Recall together ⇔ |hi| ≥ δ_hi·|hi ∪ lo|; separately ⇔ disjoint.
+//	Jaccard        separately ⇔ |I₁| ≤ x₁+x₂, x_i = min(⌊|q_i|(1−δ_i)⌋, |I₁|);
+//	               together  ⇔ y₂ ≤ |hi|(1−δ_hi)/δ_hi,
+//	               y₂ = max(0, ⌈δ_lo·|lo|⌉−|I|).
+//	F1             separately ⇔ |I₁| ≤ x₁+x₂ with
+//	               x_i = min(⌊|q_i|·2(1−δ_i)/(2−δ_i)⌋, |I₁|);
+//	               together  ⇔ y₂ ≤ |hi|·2(1−δ_hi)/δ_hi,
+//	               y₂ = max(0, ⌈|lo|·δ_lo/(2−δ_lo)⌉−|I|).
+//
+// Here hi is the pair's set of lower rank number (larger, placed higher),
+// I the intersection, and I₁ its restriction to items with branch bound 1
+// (items with a higher bound may live on both branches, the paper's
+// extension for varying bounds). Only intersecting pairs can conflict or be
+// forced together — disjoint sets are always separable — so the analysis
+// enumerates intersecting pairs through an item → sets inverted index and
+// runs in parallel over input sets, as the paper's implementation does.
+package conflict
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+)
+
+// Result holds the complete conflict analysis of an instance.
+type Result struct {
+	// Ranking is the CTCR sort order (size descending, weight ascending);
+	// Ranking[0] is the rank-1 set.
+	Ranking []oct.SetID
+	// RankOf inverts Ranking: RankOf[id] is the 0-based rank index.
+	RankOf []int
+	// Conflicts2 lists the 2-conflicts (pairs coverable neither together
+	// nor separately), each with the lower SetID first.
+	Conflicts2 [][2]oct.SetID
+	// Conflicts3 lists the 3-conflicts of Section 3.2.
+	Conflicts3 [][3]oct.SetID
+	// MustT is, per set, the sets it must be covered together with
+	// (coverable together but not separately), sorted by rank index.
+	MustT [][]oct.SetID
+
+	conf2 map[uint64]struct{}
+	mustT map[uint64]struct{}
+}
+
+func pairKey(a, b oct.SetID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// IsConflict2 reports whether {a, b} is a 2-conflict.
+func (r *Result) IsConflict2(a, b oct.SetID) bool {
+	_, ok := r.conf2[pairKey(a, b)]
+	return ok
+}
+
+// MustCoverTogether reports whether {a, b} can only be covered on one
+// branch.
+func (r *Result) MustCoverTogether(a, b oct.SetID) bool {
+	_, ok := r.mustT[pairKey(a, b)]
+	return ok
+}
+
+// PairCover is the outcome of the two coverability tests for one pair.
+type PairCover struct {
+	Together   bool
+	Separately bool
+}
+
+// CoverPair evaluates the pair tests for sets a and b of the instance under
+// cfg. Exported for white-box testing and for the item-assignment phase.
+func CoverPair(inst *oct.Instance, cfg oct.Config, a, b oct.SetID) PairCover {
+	qa, qb := inst.Sets[a], inst.Sets[b]
+	inter := qa.Items.IntersectSize(qb.Items)
+	inter1 := inter
+	if hasBounds(cfg) {
+		inter1 = boundOneIntersection(cfg, qa.Items, qb.Items)
+	}
+	// hi = the larger set (lower rank number). Ties: heavier ranks later,
+	// but for the pair tests only sizes and deltas matter; mirror the
+	// global ranking's tie-break by weight then id for determinism.
+	hi, lo := a, b
+	if less(inst, b, a) {
+		hi, lo = b, a
+	}
+	return coverPair(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
+		cfg.Variant.Base(), cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), cfg.Variant == sim.Exact)
+}
+
+// less orders set IDs by the CTCR ranking criteria.
+func less(inst *oct.Instance, a, b oct.SetID) bool {
+	sa, sb := inst.Sets[a], inst.Sets[b]
+	if sa.Items.Len() != sb.Items.Len() {
+		return sa.Items.Len() > sb.Items.Len()
+	}
+	if sa.Weight != sb.Weight {
+		return sa.Weight < sb.Weight
+	}
+	return a < b
+}
+
+// coverPair runs the size-only pair tests. hiLen ≥ loLen by ranking; inter
+// is |I|, inter1 is |I₁| (bound-1 shared items).
+func coverPair(hiLen, loLen, inter, inter1 int, base sim.Base, deltaHi, deltaLo float64, exact bool) PairCover {
+	var pc PairCover
+	switch {
+	case exact:
+		pc.Together = inter == loLen // lo ⊆ hi
+		pc.Separately = inter1 == 0
+	case base == sim.BasePR:
+		union := hiLen + loLen - inter
+		pc.Together = float64(hiLen) >= deltaHi*float64(union)
+		pc.Separately = inter1 == 0
+	case base == sim.BaseJaccard:
+		y2 := ceilEps(deltaLo*float64(loLen)) - inter
+		if y2 < 0 {
+			y2 = 0
+		}
+		pc.Together = float64(y2) <= float64(hiLen)*(1-deltaHi)/deltaHi
+		x1 := minInt(floorEps(float64(hiLen)*(1-deltaHi)), inter1)
+		x2 := minInt(floorEps(float64(loLen)*(1-deltaLo)), inter1)
+		pc.Separately = inter1 <= x1+x2
+	default: // BaseF1
+		y2 := ceilEps(float64(loLen)*deltaLo/(2-deltaLo)) - inter
+		if y2 < 0 {
+			y2 = 0
+		}
+		pc.Together = float64(y2) <= float64(hiLen)*2*(1-deltaHi)/deltaHi
+		x1 := minInt(floorEps(float64(hiLen)*2*(1-deltaHi)/(2-deltaHi)), inter1)
+		x2 := minInt(floorEps(float64(loLen)*2*(1-deltaLo)/(2-deltaLo)), inter1)
+		pc.Separately = inter1 <= x1+x2
+	}
+	return pc
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ceilEps and floorEps are rounding helpers robust to float drift
+// (0.8·9 = 7.2000…01, 0.3·10 = 2.9999…96), so integer thresholds are not
+// missed by one.
+func ceilEps(x float64) int {
+	return int(math.Ceil(x - 1e-9))
+}
+
+func floorEps(x float64) int {
+	return int(math.Floor(x + 1e-9))
+}
+
+func hasBounds(cfg oct.Config) bool {
+	return cfg.DefaultItemBound > 1 || len(cfg.ItemBounds) > 0
+}
+
+// boundOneIntersection counts shared items whose branch bound is exactly 1.
+func boundOneIntersection(cfg oct.Config, a, b intset.Set) int {
+	n := 0
+	i, j := 0, 0
+	as, bs := a.Slice(), b.Slice()
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i] < bs[j]:
+			i++
+		case as[i] > bs[j]:
+			j++
+		default:
+			if cfg.Bound(as[i]) == 1 {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// No3Conflicts limits the analysis to 2-conflicts (used by the CTCR
+	// ablation study; the Exact variant never needs triples anyway).
+	No3Conflicts bool
+}
+
+// Analyze computes the full conflict structure of the instance: rankings,
+// 2-conflicts, must-cover-together pairs, and (for δ < 1) 3-conflicts.
+// Intersecting pairs are enumerated via an inverted index and evaluated in
+// parallel.
+func Analyze(inst *oct.Instance, cfg oct.Config) *Result {
+	return AnalyzeWith(inst, cfg, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit options.
+func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
+	n := inst.N()
+	res := &Result{
+		Ranking: inst.Ranking(),
+		RankOf:  make([]int, n),
+		MustT:   make([][]oct.SetID, n),
+		conf2:   make(map[uint64]struct{}),
+		mustT:   make(map[uint64]struct{}),
+	}
+	for i, id := range res.Ranking {
+		res.RankOf[id] = i
+	}
+
+	// Inverted index: item -> sets containing it.
+	postings := make(map[intset.Item][]int32)
+	for i, s := range inst.Sets {
+		for _, it := range s.Items.Slice() {
+			postings[it] = append(postings[it], int32(i))
+		}
+	}
+
+	bounded := hasBounds(cfg)
+	exact := cfg.Variant == sim.Exact
+	base := cfg.Variant.Base()
+
+	type pairRes struct {
+		conflicts [][2]oct.SetID
+		together  [][2]oct.SetID
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]pairRes, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := make([]int32, n)  // |I| per partner
+			counts1 := make([]int32, n) // |I₁| per partner
+			var partners []int32
+			for a := w; a < n; a += workers {
+				partners = partners[:0]
+				qa := inst.Sets[a]
+				for _, it := range qa.Items.Slice() {
+					b1 := !bounded || cfg.Bound(it) == 1
+					for _, b := range postings[it] {
+						if int(b) <= a {
+							continue
+						}
+						if counts[b] == 0 {
+							partners = append(partners, b)
+						}
+						counts[b]++
+						if b1 {
+							counts1[b]++
+						}
+					}
+				}
+				for _, b := range partners {
+					inter := int(counts[b])
+					inter1 := inter
+					if bounded {
+						inter1 = int(counts1[b])
+					}
+					counts[b], counts1[b] = 0, 0
+
+					ai, bi := oct.SetID(a), oct.SetID(b)
+					hi, lo := ai, bi
+					if less(inst, bi, ai) {
+						hi, lo = bi, ai
+					}
+					pc := coverPair(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
+						base, cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), exact)
+					switch {
+					case !pc.Together && !pc.Separately:
+						results[w].conflicts = append(results[w].conflicts, [2]oct.SetID{ai, bi})
+					case pc.Together && !pc.Separately:
+						results[w].together = append(results[w].together, [2]oct.SetID{ai, bi})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, pr := range results {
+		for _, c := range pr.conflicts {
+			res.Conflicts2 = append(res.Conflicts2, c)
+			res.conf2[pairKey(c[0], c[1])] = struct{}{}
+		}
+		for _, m := range pr.together {
+			res.mustT[pairKey(m[0], m[1])] = struct{}{}
+			res.MustT[m[0]] = append(res.MustT[m[0]], m[1])
+			res.MustT[m[1]] = append(res.MustT[m[1]], m[0])
+		}
+	}
+	sortPairs(res.Conflicts2)
+	for id := range res.MustT {
+		rank := res.RankOf
+		lst := res.MustT[id]
+		sort.Slice(lst, func(i, j int) bool { return rank[lst[i]] < rank[lst[j]] })
+	}
+
+	// 3-conflicts only matter below the Exact threshold.
+	if !exact && !aOpts.No3Conflicts {
+		res.Conflicts3 = findTripleConflicts(res, workers)
+	}
+	return res
+}
+
+// findTripleConflicts applies the rule of Section 3.2: for q1–q2–q3 with
+// both {q1,q2} and {q2,q3} must-cover-together, q2 not the largest
+// (lowest-rank-number) of the three, and {q1,q3} neither must-together nor
+// already a 2-conflict, the triplet is a 3-conflict.
+func findTripleConflicts(res *Result, workers int) [][3]oct.SetID {
+	n := len(res.MustT)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Per-set conflict adjacency for stamped constant-time pair checks.
+	confOf := make([][]oct.SetID, n)
+	for _, c := range res.Conflicts2 {
+		confOf[c[0]] = append(confOf[c[0]], c[1])
+		confOf[c[1]] = append(confOf[c[1]], c[0])
+	}
+	parts := make([][][3]oct.SetID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Epoch-stamped membership arrays: related[x] == epoch means x
+			// is must-together with or in 2-conflict with the current q1.
+			related := make([]uint32, n)
+			epoch := uint32(0)
+			for mid := w; mid < n; mid += workers {
+				q2 := oct.SetID(mid)
+				partners := res.MustT[mid]
+				// Partners are sorted by rank. A triple needs q2 not to be
+				// the largest of the three, i.e. at least one partner
+				// ranked above q2 — and since i < j means partners[i] is
+				// the larger, i may only range over those partners.
+				above := 0
+				for above < len(partners) && res.RankOf[partners[above]] < res.RankOf[q2] {
+					above++
+				}
+				for i := 0; i < above; i++ {
+					q1 := partners[i]
+					epoch++
+					for _, x := range res.MustT[q1] {
+						related[x] = epoch
+					}
+					for _, x := range confOf[q1] {
+						related[x] = epoch
+					}
+					for j := i + 1; j < len(partners); j++ {
+						q3 := partners[j]
+						if related[q3] == epoch {
+							continue
+						}
+						t := sortTriple(q1, q2, q3)
+						parts[w] = append(parts[w], t)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[[3]oct.SetID]struct{})
+	var out [][3]oct.SetID
+	for _, p := range parts {
+		for _, t := range p {
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		if out[i][1] != out[j][1] {
+			return out[i][1] < out[j][1]
+		}
+		return out[i][2] < out[j][2]
+	})
+	return out
+}
+
+func sortTriple(a, b, c oct.SetID) [3]oct.SetID {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]oct.SetID{a, b, c}
+}
+
+func sortPairs(ps [][2]oct.SetID) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}

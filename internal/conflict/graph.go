@@ -1,0 +1,45 @@
+package conflict
+
+import (
+	"categorytree/internal/mis"
+	"categorytree/internal/oct"
+)
+
+// BuildHypergraph casts the conflict analysis as a Maximum Weight
+// Independent Set instance: one vertex per input set (weighted by W),
+// one 2-edge per 2-conflict, one 3-edge per 3-conflict (lines 8-9 of
+// Algorithm 1).
+func BuildHypergraph(inst *oct.Instance, res *Result) *mis.Hypergraph {
+	weights := make([]float64, inst.N())
+	for i, s := range inst.Sets {
+		weights[i] = s.Weight
+	}
+	g := mis.NewHypergraph(inst.N(), weights)
+	for _, c := range res.Conflicts2 {
+		g.AddEdge(int(c[0]), int(c[1]))
+	}
+	for _, t := range res.Conflicts3 {
+		g.AddTriangle(int(t[0]), int(t[1]), int(t[2]))
+	}
+	return g
+}
+
+// C2Stats computes the weighted average number of 2-conflicts per input set,
+// C2(Q, W) of Theorem 3.1, which bounds the performance ratio of CTCR for
+// the Exact variant.
+func C2Stats(inst *oct.Instance, res *Result) float64 {
+	counts := make([]int, inst.N())
+	for _, c := range res.Conflicts2 {
+		counts[c[0]]++
+		counts[c[1]]++
+	}
+	num, den := 0.0, 0.0
+	for i, s := range inst.Sets {
+		num += s.Weight * float64(counts[i])
+		den += s.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,41 @@
+// Package core anchors the paper's primary contribution in the repository
+// layout: the OCT model and the two construction algorithms. The
+// implementations live in focused sibling packages — internal/oct (model),
+// internal/ctcr (the MIS-based Category Tree Conflict Resolver, Section 3),
+// internal/cct (the clustering-based algorithm, Section 4) — and this
+// package re-exports their entry points for discoverability.
+package core
+
+import (
+	"categorytree/internal/cct"
+	"categorytree/internal/ctcr"
+	"categorytree/internal/oct"
+)
+
+// Instance is the OCT input ⟨Q, W⟩ (see internal/oct).
+type Instance = oct.Instance
+
+// Config selects the problem variant (see internal/oct).
+type Config = oct.Config
+
+// CTCROptions configures the conflict-resolver pipeline.
+type CTCROptions = ctcr.Options
+
+// CTCRResult is a CTCR run's outcome.
+type CTCRResult = ctcr.Result
+
+// CCTResult is a CCT run's outcome.
+type CCTResult = cct.Result
+
+// BuildCTCR runs the Category Tree Conflict Resolver (Algorithm 1 + 2).
+func BuildCTCR(inst *Instance, cfg Config, opts CTCROptions) (*CTCRResult, error) {
+	return ctcr.Build(inst, cfg, opts)
+}
+
+// BuildCCT runs the Clustering-Based Category Tree algorithm (Algorithm 3).
+func BuildCCT(inst *Instance, cfg Config) (*CCTResult, error) {
+	return cct.Build(inst, cfg)
+}
+
+// DefaultCTCROptions mirrors the experiments' solver settings.
+func DefaultCTCROptions() CTCROptions { return ctcr.DefaultOptions() }

@@ -1,0 +1,425 @@
+// Package ctcr implements the Category Tree Conflict Resolver, the paper's
+// best-performing algorithm (Section 3, Algorithm 1): identify pairs and
+// triples of input sets that no tree can cover simultaneously, extract a
+// maximum-weight conflict-free subset with an independent-set solver, and
+// build a category tree that covers it, assigning contested items greedily
+// (Algorithm 2) and condensing the result.
+//
+// The three variant regimes fall out of one pipeline:
+//
+//	Exact (δ=1)        2-conflicts only, conflict graph, no item contest,
+//	                   no condensing — the version with the tight
+//	                   O(C2(Q,W)) guarantee of Theorem 3.1.
+//	Perfect-Recall     adds 3-conflicts and the conflict hypergraph; items
+//	                   are never contested (intersecting selected sets
+//	                   always share a branch), so Algorithm 2 is skipped.
+//	Jaccard / F1       full pipeline: duplicates assigned by Algorithm 2,
+//	                   intermediate categories recombine partitioned
+//	                   siblings, and the tree is condensed.
+package ctcr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"categorytree/internal/assign"
+	"categorytree/internal/conflict"
+	"categorytree/internal/intset"
+	"categorytree/internal/mis"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+// Options tunes the CTCR pipeline. The Disable* fields exist for ablation
+// studies (cmd/octbench -exp ablation) and default to the full algorithm.
+type Options struct {
+	// MIS configures the independent-set solver.
+	MIS mis.Options
+	// UsePartitionSolver switches the hypergraph MIS to the
+	// partitioning-based algorithm (the paper's choice for sparse
+	// hypergraphs, [15]); the default branch-and-reduce solver dominates it
+	// empirically, so this is off unless requested.
+	UsePartitionSolver bool
+	// PartitionParts is the number of parts for the partition solver.
+	PartitionParts int
+	// GreedyMISOnly skips exact conflict resolution and uses the greedy +
+	// local-search heuristic everywhere (ablation: how much does solving
+	// MIS well matter?).
+	GreedyMISOnly bool
+	// Disable3Conflicts analyzes 2-conflicts only (ablation: what do the
+	// Section 3.2 triples buy?).
+	Disable3Conflicts bool
+	// DisableIntermediates skips lines 21-23 (ablation: recombining
+	// partitioned siblings).
+	DisableIntermediates bool
+	// DisableAdmission skips the Perfect-Recall aggregate-precision guard
+	// during construction (ablation: this implementation's refinement).
+	DisableAdmission bool
+}
+
+// DefaultOptions returns the configuration used in the experiments.
+func DefaultOptions() Options {
+	return Options{MIS: mis.DefaultOptions(), PartitionParts: 4}
+}
+
+// Result is a constructed tree plus the run's provenance.
+type Result struct {
+	// Tree is the final category tree.
+	Tree *tree.Tree
+	// Selected is the conflict-free subset S of input sets, in rank order.
+	Selected []oct.SetID
+	// CatOf maps each selected set to its dedicated category. Categories
+	// removed by condensing map to nil.
+	CatOf map[oct.SetID]*tree.Node
+	// MIS reports the independent-set solve.
+	MIS mis.Result
+	// Conflicts is the full conflict analysis.
+	Conflicts *conflict.Result
+	// Timings breaks down the run.
+	Timings Timings
+}
+
+// Timings records per-stage wall-clock durations.
+type Timings struct {
+	Analyze   time.Duration
+	Solve     time.Duration
+	Construct time.Duration
+	Total     time.Duration
+}
+
+// Build runs CTCR over the instance under cfg.
+func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("ctcr: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("ctcr: %w", err)
+	}
+
+	// Stage 1 (lines 1-9): rank, find conflicts, build the conflict
+	// (hyper)graph.
+	t0 := time.Now()
+	analysis := conflict.AnalyzeWith(inst, cfg, conflict.Options{No3Conflicts: opts.Disable3Conflicts})
+	analyzeDur := time.Since(t0)
+
+	// Stage 2 (line 10): solve MIS.
+	t0 = time.Now()
+	g := conflict.BuildHypergraph(inst, analysis)
+	var misRes mis.Result
+	switch {
+	case opts.GreedyMISOnly:
+		misOpts := opts.MIS
+		misOpts.MaxExactComponent = -1
+		misRes = mis.Solve(g, misOpts)
+	case opts.UsePartitionSolver && g.Triangles() > 0:
+		misRes = mis.SolvePartition(g, opts.PartitionParts, opts.MIS)
+	default:
+		misRes = mis.Solve(g, opts.MIS)
+	}
+	solveDur := time.Since(t0)
+
+	// Stage 3 (lines 11-26): construct the tree.
+	t0 = time.Now()
+	res := &Result{
+		MIS:       misRes,
+		Conflicts: analysis,
+	}
+	res.Selected = make([]oct.SetID, 0, len(misRes.Set))
+	for _, v := range misRes.Set {
+		res.Selected = append(res.Selected, oct.SetID(v))
+	}
+	rankOf := analysis.RankOf
+	sort.Slice(res.Selected, func(i, j int) bool {
+		return rankOf[res.Selected[i]] < rankOf[res.Selected[j]]
+	})
+
+	res.Tree, res.CatOf, res.Selected = construct(inst, cfg, analysis, res.Selected, !opts.DisableAdmission)
+
+	// Perfect-Recall and Exact never contest items under the standard
+	// bound of 1; with higher bounds, duplicates can exist and Algorithm 2
+	// must run (the varying-bounds extension of Section 3.3).
+	skipAssign := cfg.Variant.Base() == sim.BasePR && !hasBounds(cfg)
+	if !skipAssign {
+		assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).Run()
+		if !opts.DisableIntermediates {
+			addIntermediateCategories(inst, res.Tree, res.CatOf, res.Selected)
+		}
+	}
+
+	if cfg.Variant != sim.Exact {
+		assign.Condense(inst, cfg, res.Tree)
+		// Condensing may have removed dedicated categories; null their refs.
+		for q, c := range res.CatOf {
+			if c != nil && res.Tree.Node(c.ID) != c {
+				res.CatOf[q] = nil
+			}
+		}
+	} else {
+		for _, q := range res.Selected {
+			c := res.CatOf[q]
+			c.Covers = append(c.Covers, q)
+		}
+	}
+
+	assign.AddMiscCategory(inst, res.Tree)
+	res.Timings = Timings{
+		Analyze:   analyzeDur,
+		Solve:     solveDur,
+		Construct: time.Since(t0),
+		Total:     time.Since(start),
+	}
+	return res, nil
+}
+
+// construct builds the tree skeleton (lines 11-19): one category per
+// selected set, parented under the highest-ranking earlier set it must share
+// a branch with, then assigns every uncontested item to its deepest relevant
+// category (descendant items propagate upward by construction).
+//
+// For the Perfect-Recall base, an admission check guards against the
+// aggregate-precision failure the paper notes for δ < 1 ("since we did not
+// account for higher-order conflicts, the aggregate precision error may be
+// too high"): a set is dropped when nesting it would push more ancestor
+// covers below their thresholds than the set itself is worth. The surviving
+// selection is returned (a subset of selected; identical for the Exact
+// variant, where descendants are always contained in their ancestors).
+func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, selected []oct.SetID, admission bool) (*tree.Tree, map[oct.SetID]*tree.Node, []oct.SetID) {
+	t := tree.New(nil)
+	catOf := make(map[oct.SetID]*tree.Node, len(selected))
+	admitted := make(map[oct.SetID]bool, len(selected))
+	admitOrder := make([]oct.SetID, 0, len(selected))
+	guardPR := admission && cfg.Variant.Base() == sim.BasePR
+	// unions tracks, per admitted set, the union of all sets on its
+	// subtree — exactly its future category contents under Perfect-Recall.
+	unions := make(map[oct.SetID]intset.Set)
+	setAt := make(map[int]oct.SetID) // node ID -> its set
+
+	// Categories in rank order so every candidate parent exists already.
+	for _, q := range selected {
+		parent := t.Root()
+		// Scan earlier-created (higher-placed) sets from nearest rank
+		// upward; the first must-cover-together partner is the parent.
+		for r := analysis.RankOf[q] - 1; r >= 0; r-- {
+			cand := analysis.Ranking[r]
+			if admitted[cand] && analysis.MustCoverTogether(q, cand) {
+				parent = catOf[cand]
+				break
+			}
+		}
+		if guardPR && parent != t.Root() {
+			// Weigh the ancestors whose covers q's items would break
+			// (cover(a) holds iff |C(a)| ≤ |set(a)|/δ_a, since recall is
+			// perfect along a Perfect-Recall branch).
+			items := inst.Sets[q].Items
+			brokenW := 0.0
+			for a := parent; a != t.Root(); a = a.Parent() {
+				aq := setAt[a.ID]
+				sa := inst.Sets[aq]
+				limit := float64(sa.Items.Len()) / cfg.Delta0(sa)
+				before := float64(unions[aq].Len())
+				after := float64(unions[aq].UnionSize(items))
+				if before <= limit+1e-9 && after > limit+1e-9 {
+					brokenW += sa.Weight
+				}
+			}
+			if brokenW >= inst.Weight(q) {
+				continue // dropping q preserves more covered weight
+			}
+		}
+		c := t.AddCategory(parent, nil, inst.Sets[q].Label)
+		catOf[q] = c
+		setAt[c.ID] = q
+		admitted[q] = true
+		admitOrder = append(admitOrder, q)
+		if guardPR {
+			unions[q] = inst.Sets[q].Items
+			for a := parent; a != t.Root(); a = a.Parent() {
+				aq := setAt[a.ID]
+				unions[aq] = unions[aq].Union(inst.Sets[q].Items)
+			}
+		}
+	}
+	selected = admitOrder
+
+	// Uncontested items: an item whose selected sets all lie on one branch
+	// goes to the deepest of their categories (lines 16-19). Contested
+	// items ("duplicates") wait for Algorithm 2.
+	owners := make(map[intset.Item][]oct.SetID)
+	for _, q := range selected {
+		for _, it := range inst.Sets[q].Items.Slice() {
+			owners[it] = append(owners[it], q)
+		}
+	}
+	// Batch items per destination category: one union per category keeps
+	// the ancestor updates linear instead of quadratic on large instances.
+	pending := make(map[int][]intset.Item)
+	nodeByID := make(map[int]*tree.Node)
+	for it, qs := range owners {
+		reps := branchReps(catOf, qs)
+		// Uncontested when the item's bound accommodates every branch that
+		// wants it; with the ubiquitous bound of 1 this is the paper's
+		// "items that only appear in sets that are covered together".
+		if len(reps) <= cfg.Bound(it) {
+			for _, rep := range reps {
+				pending[rep.ID] = append(pending[rep.ID], it)
+				nodeByID[rep.ID] = rep
+			}
+		}
+	}
+	for id, items := range pending {
+		t.AddItems(nodeByID[id], intset.New(items...))
+	}
+	return t, catOf, selected
+}
+
+// branchReps groups the categories of the given sets into branches and
+// returns the deepest category per branch.
+func branchReps(catOf map[oct.SetID]*tree.Node, qs []oct.SetID) []*tree.Node {
+	cats := make([]*tree.Node, len(qs))
+	for i, q := range qs {
+		cats[i] = catOf[q]
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].Depth() > cats[j].Depth() })
+	var reps []*tree.Node
+	for _, c := range cats {
+		joined := false
+		for _, rep := range reps {
+			if isAncestorOrSelf(c, rep) {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			reps = append(reps, c)
+		}
+	}
+	return reps
+}
+
+func hasBounds(cfg oct.Config) bool {
+	return cfg.DefaultItemBound > 1 || len(cfg.ItemBounds) > 0
+}
+
+func isAncestorOrSelf(anc, n *tree.Node) bool {
+	for cur := n; cur != nil; cur = cur.Parent() {
+		if cur == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// addIntermediateCategories implements lines 21-23: under every node with
+// more than two children, repeatedly give the two intersecting child sets
+// sharing the largest fraction of the smaller set a common intermediate
+// parent corresponding to (and containing) their union.
+func addIntermediateCategories(inst *oct.Instance, t *tree.Tree, catOf map[oct.SetID]*tree.Node, selected []oct.SetID) {
+	// Every category corresponds to a set: dedicated categories to their
+	// input set, intermediates to the union of their pair. Weights break
+	// ties between equally-overlapping pairs toward the heavier demand.
+	setFor := make(map[int]intset.Set)
+	weightFor := make(map[int]float64)
+	for _, q := range selected {
+		setFor[catOf[q].ID] = inst.Sets[q].Items
+		weightFor[catOf[q].ID] = inst.Sets[q].Weight
+	}
+
+	nodes := t.Categories()
+	for _, n := range nodes {
+		if t.Node(n.ID) != n {
+			continue // removed meanwhile (cannot happen here; defensive)
+		}
+		mergeIntersectingChildren(t, n, setFor, weightFor)
+	}
+}
+
+// pairEntry is a candidate sibling merge, scored by the shared fraction of
+// the smaller corresponding set.
+type pairEntry struct {
+	a, b   *tree.Node
+	frac   float64
+	weight float64
+}
+
+type pairHeap []pairEntry
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].frac != h[j].frac {
+		return h[i].frac > h[j].frac
+	}
+	return h[i].weight > h[j].weight
+}
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// mergeIntersectingChildren repeatedly inserts intermediate parents over the
+// most-overlapping intersecting child pair of n. A max-heap of pair
+// fractions keeps each intersection computed exactly once over the node's
+// lifetime: merged children become inactive and their stale heap entries
+// are skipped on pop.
+func mergeIntersectingChildren(t *tree.Tree, n *tree.Node, setFor map[int]intset.Set, weightFor map[int]float64) {
+	h := &pairHeap{}
+	active := make(map[int]bool)
+	pushPairs := func(c *tree.Node) {
+		sc := setFor[c.ID]
+		if sc.Len() == 0 {
+			return
+		}
+		for id := range active {
+			if id == c.ID {
+				continue
+			}
+			other := t.Node(id)
+			so := setFor[id]
+			if so.Len() == 0 {
+				continue
+			}
+			inter := sc.IntersectSize(so)
+			if inter == 0 {
+				continue
+			}
+			smaller := sc.Len()
+			if so.Len() < smaller {
+				smaller = so.Len()
+			}
+			heap.Push(h, pairEntry{
+				a:      c,
+				b:      other,
+				frac:   float64(inter) / float64(smaller),
+				weight: weightFor[c.ID] + weightFor[id],
+			})
+		}
+	}
+	for _, c := range n.Children() {
+		pushPairs(c)
+		active[c.ID] = true
+	}
+	for len(n.Children()) > 2 && h.Len() > 0 {
+		top := heap.Pop(h).(pairEntry)
+		if !active[top.a.ID] || !active[top.b.ID] || top.frac <= 0 {
+			continue
+		}
+		ci, cj := top.a, top.b
+		union := setFor[ci.ID].Union(setFor[cj.ID])
+		mid := t.AddCategory(n, ci.Items.Union(cj.Items), "")
+		setFor[mid.ID] = union
+		weightFor[mid.ID] = weightFor[ci.ID] + weightFor[cj.ID]
+		t.Reparent(ci, mid)
+		t.Reparent(cj, mid)
+		delete(active, ci.ID)
+		delete(active, cj.ID)
+		pushPairs(mid)
+		active[mid.ID] = true
+	}
+}

@@ -1,0 +1,92 @@
+// Package facet simulates browsing-style access over a category tree,
+// quantifying the navigation argument behind the paper's Perfect-Recall
+// variant (Section 2.2): users descend to the deepest category that still
+// contains everything they want, then narrow the remainder with a filtering
+// interface. The fewer irrelevant items in that category, the fewer filter
+// refinements a user needs — so trees whose categories contain complete
+// input sets with high precision serve faceted search best.
+package facet
+
+import (
+	"math"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+// NavResult describes one simulated browsing session for a target set.
+type NavResult struct {
+	// Node is the deepest category fully containing the target.
+	Node *tree.Node
+	// Depth is that category's depth (0 = the user stayed at the root).
+	Depth int
+	// Precision is |target| / |category|: how much of what the user sees
+	// is relevant.
+	Precision float64
+	// FilterSteps estimates the binary filter refinements needed to narrow
+	// the category down to the target: log2(|C| / |target|), 0 when the
+	// category is exact.
+	FilterSteps float64
+}
+
+// Navigate descends from the root toward the target set: at each step the
+// user picks the child that still contains every target item, stopping when
+// no child does — the canonical browse-then-filter session.
+func Navigate(t *tree.Tree, target intset.Set) NavResult {
+	cur := t.Root()
+	depth := 0
+	for {
+		var next *tree.Node
+		for _, c := range cur.Children() {
+			if target.SubsetOf(c.Items) {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		cur = next
+		depth++
+	}
+	res := NavResult{Node: cur, Depth: depth}
+	if cur.Items.Len() > 0 {
+		res.Precision = float64(target.Len()) / float64(cur.Items.Len())
+		if res.Precision > 0 && res.Precision < 1 {
+			res.FilterSteps = math.Log2(1 / res.Precision)
+		}
+	}
+	return res
+}
+
+// Summary aggregates navigation quality over an instance, weighted by the
+// input-set weights (heavier demand counts more).
+type Summary struct {
+	// AvgDepth is the weighted mean landing depth (deeper = more of the
+	// narrowing was done by the tree).
+	AvgDepth float64
+	// AvgPrecision is the weighted mean precision at the landing category.
+	AvgPrecision float64
+	// AvgFilterSteps is the weighted mean residual filtering effort.
+	AvgFilterSteps float64
+}
+
+// Evaluate runs Navigate for every input set.
+func Evaluate(t *tree.Tree, inst *oct.Instance) Summary {
+	var s Summary
+	total := 0.0
+	for _, q := range inst.Sets {
+		r := Navigate(t, q.Items)
+		s.AvgDepth += q.Weight * float64(r.Depth)
+		s.AvgPrecision += q.Weight * r.Precision
+		s.AvgFilterSteps += q.Weight * r.FilterSteps
+		total += q.Weight
+	}
+	if total > 0 {
+		s.AvgDepth /= total
+		s.AvgPrecision /= total
+		s.AvgFilterSteps /= total
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package facet
+
+import (
+	"math"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+func navTree() *tree.Tree {
+	t := tree.New(intset.Range(0, 16))
+	a := t.AddCategory(nil, intset.Range(0, 8), "a")
+	t.AddCategory(nil, intset.Range(8, 16), "b")
+	t.AddCategory(a, intset.Range(0, 4), "a1")
+	t.AddCategory(a, intset.Range(4, 8), "a2")
+	return t
+}
+
+func TestNavigateDescendsWhileContained(t *testing.T) {
+	tr := navTree()
+	r := Navigate(tr, intset.New(0, 1))
+	if r.Node.Label != "a1" || r.Depth != 2 {
+		t.Fatalf("landed at %q depth %d, want a1 depth 2", r.Node.Label, r.Depth)
+	}
+	if r.Precision != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", r.Precision)
+	}
+	if math.Abs(r.FilterSteps-1) > 1e-12 {
+		t.Fatalf("filter steps = %v, want 1 (halving once)", r.FilterSteps)
+	}
+}
+
+func TestNavigateStopsWhenSplit(t *testing.T) {
+	tr := navTree()
+	// {3,4} spans a1 and a2: the session stops at their parent.
+	r := Navigate(tr, intset.New(3, 4))
+	if r.Node.Label != "a" || r.Depth != 1 {
+		t.Fatalf("landed at %q depth %d, want a depth 1", r.Node.Label, r.Depth)
+	}
+	// {7,8} spans a and b: stuck at the root.
+	r = Navigate(tr, intset.New(7, 8))
+	if r.Depth != 0 {
+		t.Fatalf("depth = %d, want 0 (target scattered)", r.Depth)
+	}
+}
+
+func TestNavigateExactCategory(t *testing.T) {
+	tr := navTree()
+	r := Navigate(tr, intset.Range(0, 4))
+	if r.Precision != 1 || r.FilterSteps != 0 {
+		t.Fatalf("exact category: precision %v, steps %v", r.Precision, r.FilterSteps)
+	}
+}
+
+func TestEvaluateWeighting(t *testing.T) {
+	tr := navTree()
+	inst := &oct.Instance{Universe: 16, Sets: []oct.InputSet{
+		{Items: intset.New(0, 1), Weight: 3}, // depth 2
+		{Items: intset.New(7, 8), Weight: 1}, // depth 0
+	}}
+	s := Evaluate(tr, inst)
+	if math.Abs(s.AvgDepth-1.5) > 1e-12 {
+		t.Fatalf("AvgDepth = %v, want (3·2+1·0)/4 = 1.5", s.AvgDepth)
+	}
+	if s.AvgPrecision <= 0 || s.AvgPrecision > 1 {
+		t.Fatalf("AvgPrecision = %v", s.AvgPrecision)
+	}
+}
+
+// TestFacetedTreesBeatFlat: a tree with a dedicated complete category for
+// the target needs fewer filter steps than a flat one — the Perfect-Recall
+// variant's raison d'être.
+func TestFacetedTreesBeatFlat(t *testing.T) {
+	target := intset.Range(0, 4)
+	inst := &oct.Instance{Universe: 64, Sets: []oct.InputSet{{Items: target, Weight: 1}}}
+
+	flat := tree.New(intset.Range(0, 64))
+	deep := tree.New(intset.Range(0, 64))
+	big := deep.AddCategory(nil, intset.Range(0, 16), "big")
+	deep.AddCategory(big, intset.Range(0, 4), "exact")
+
+	if f, d := Evaluate(flat, inst), Evaluate(deep, inst); d.AvgFilterSteps >= f.AvgFilterSteps {
+		t.Fatalf("dedicated category should reduce filtering: %v vs %v", d.AvgFilterSteps, f.AvgFilterSteps)
+	}
+}

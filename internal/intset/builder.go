@@ -1,0 +1,66 @@
+package intset
+
+import "sort"
+
+// Builder accumulates items incrementally and produces a Set. It tolerates
+// out-of-order and duplicate insertion, which is the natural shape of
+// result-set construction (the search engine emits postings per term).
+type Builder struct {
+	items  []Item
+	sorted bool
+}
+
+// NewBuilder returns a Builder with capacity for n items.
+func NewBuilder(n int) *Builder {
+	return &Builder{items: make([]Item, 0, n), sorted: true}
+}
+
+// Add inserts v into the builder.
+func (b *Builder) Add(v Item) {
+	if b.sorted && len(b.items) > 0 && v < b.items[len(b.items)-1] {
+		b.sorted = false
+	}
+	b.items = append(b.items, v)
+}
+
+// AddSet inserts every item of s.
+func (b *Builder) AddSet(s Set) {
+	for _, v := range s {
+		b.Add(v)
+	}
+}
+
+// Len reports how many items were added (counting duplicates).
+func (b *Builder) Len() int { return len(b.items) }
+
+// Build finalizes the builder into a Set, sorting and deduplicating as
+// needed. The builder is reset and may be reused.
+func (b *Builder) Build() Set {
+	items := b.items
+	b.items = nil
+	b.sorted = true
+	if len(items) == 0 {
+		return nil
+	}
+	if !isSortedUnique(items) {
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		w := 1
+		for r := 1; r < len(items); r++ {
+			if items[r] != items[w-1] {
+				items[w] = items[r]
+				w++
+			}
+		}
+		items = items[:w]
+	}
+	return Set(items)
+}
+
+func isSortedUnique(items []Item) bool {
+	for i := 1; i < len(items); i++ {
+		if items[i-1] >= items[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,361 @@
+package intset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedupes(t *testing.T) {
+	s := New(5, 3, 5, 1, 3, 9)
+	want := Set{1, 3, 5, 9}
+	if !s.Equal(want) {
+		t.Fatalf("New = %v, want %v", s, want)
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if s := New(); !s.Empty() || s.Len() != 0 {
+		t.Fatalf("New() should be empty, got %v", s)
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted should panic on unsorted input")
+		}
+	}()
+	FromSorted([]Item{3, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted should panic on duplicates")
+		}
+	}()
+	FromSorted([]Item{1, 1, 2})
+}
+
+func TestRange(t *testing.T) {
+	if got, want := Range(2, 6), New(2, 3, 4, 5); !got.Equal(want) {
+		t.Fatalf("Range(2,6) = %v, want %v", got, want)
+	}
+	if got := Range(4, 4); !got.Empty() {
+		t.Fatalf("Range(4,4) = %v, want empty", got)
+	}
+	if got := Range(5, 2); !got.Empty() {
+		t.Fatalf("Range(5,2) = %v, want empty", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(1, 4, 7)
+	for _, v := range []Item{1, 4, 7} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []Item{0, 2, 8} {
+		if s.Contains(v) {
+			t.Errorf("Contains(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestBasicAlgebra(t *testing.T) {
+	a := New(1, 2, 3, 4)
+	b := New(3, 4, 5, 6)
+	if got, want := a.Intersect(b), New(3, 4); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Union(b), New(1, 2, 3, 4, 5, 6); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Diff(b), New(1, 2); !got.Equal(want) {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+	if got, want := b.Diff(a), New(5, 6); !got.Equal(want) {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+	if a.IntersectSize(b) != 2 {
+		t.Errorf("IntersectSize = %d, want 2", a.IntersectSize(b))
+	}
+	if a.UnionSize(b) != 6 {
+		t.Errorf("UnionSize = %d, want 6", a.UnionSize(b))
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersects(New(9, 10)) {
+		t.Error("Intersects disjoint = true, want false")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := New(2, 4)
+	b := New(1, 2, 3, 4)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("a should not be proper subset of itself")
+	}
+	if !a.ProperSubsetOf(b) {
+		t.Error("a should be proper subset of b")
+	}
+	if !New().SubsetOf(a) {
+		t.Error("empty set should be subset of anything")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(2, 3, 4)
+	if got, want := a.Jaccard(b), 2.0/4.0; got != want {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := New().Jaccard(New()); got != 1 {
+		t.Errorf("Jaccard of two empty sets = %v, want 1", got)
+	}
+	if got := a.Jaccard(New()); got != 0 {
+		t.Errorf("Jaccard with empty = %v, want 0", got)
+	}
+	if got := a.Jaccard(a); got != 1 {
+		t.Errorf("Jaccard with self = %v, want 1", got)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	sets := []Set{New(1, 2), New(2, 3), New(5), nil, New(0, 5)}
+	if got, want := UnionAll(sets), New(0, 1, 2, 3, 5); !got.Equal(want) {
+		t.Fatalf("UnionAll = %v, want %v", got, want)
+	}
+	if got := UnionAll(nil); !got.Empty() {
+		t.Fatalf("UnionAll(nil) = %v, want empty", got)
+	}
+	single := []Set{New(7, 8)}
+	got := UnionAll(single)
+	if !got.Equal(New(7, 8)) {
+		t.Fatalf("UnionAll single = %v", got)
+	}
+	// Must be a copy, not an alias.
+	got[0] = 99
+	if single[0][0] != 7 {
+		t.Fatal("UnionAll aliased its input")
+	}
+}
+
+func TestGallopingIntersect(t *testing.T) {
+	big := Range(0, 10000)
+	small := New(3, 777, 9999, 10001)
+	if got := small.IntersectSize(big); got != 3 {
+		t.Fatalf("IntersectSize galloping = %d, want 3", got)
+	}
+	if got := big.IntersectSize(small); got != 3 {
+		t.Fatalf("IntersectSize galloping (swapped) = %d, want 3", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := New(1, 2).String(), "{1, 2}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if got, want := New().String(), "{}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(4)
+	for _, v := range []Item{5, 1, 5, 3} {
+		b.Add(v)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Builder.Len = %d, want 4", b.Len())
+	}
+	if got, want := b.Build(), New(1, 3, 5); !got.Equal(want) {
+		t.Fatalf("Build = %v, want %v", got, want)
+	}
+	// Builder is reusable after Build.
+	b.AddSet(New(2, 4))
+	if got, want := b.Build(), New(2, 4); !got.Equal(want) {
+		t.Fatalf("reused Build = %v, want %v", got, want)
+	}
+	if got := b.Build(); !got.Empty() {
+		t.Fatalf("empty Build = %v, want empty", got)
+	}
+}
+
+// randomSet converts arbitrary fuzz input into a valid Set over a small
+// universe so that intersections are common.
+func randomSet(raw []uint16) Set {
+	items := make([]Item, len(raw))
+	for i, v := range raw {
+		items[i] = Item(v % 64)
+	}
+	return New(items...)
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	commutative := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	sizesConsistent := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		return a.Intersect(b).Len() == a.IntersectSize(b) &&
+			a.Union(b).Len() == a.UnionSize(b) &&
+			a.Intersects(b) == (a.IntersectSize(b) > 0)
+	}
+	if err := quick.Check(sizesConsistent, cfg); err != nil {
+		t.Errorf("size consistency: %v", err)
+	}
+
+	inclusionExclusion := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		return a.UnionSize(b) == a.Len()+b.Len()-a.IntersectSize(b)
+	}
+	if err := quick.Check(inclusionExclusion, cfg); err != nil {
+		t.Errorf("inclusion-exclusion: %v", err)
+	}
+
+	diffPartition := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		// a = (a\b) ∪ (a∩b), disjointly.
+		d, i := a.Diff(b), a.Intersect(b)
+		return d.Union(i).Equal(a) && !d.Intersects(i) && !d.Intersects(b)
+	}
+	if err := quick.Check(diffPartition, cfg); err != nil {
+		t.Errorf("difference partition: %v", err)
+	}
+
+	subsetLaws := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		return a.Intersect(b).SubsetOf(a) && a.SubsetOf(a.Union(b)) &&
+			(a.SubsetOf(b) == (a.Diff(b).Len() == 0))
+	}
+	if err := quick.Check(subsetLaws, cfg); err != nil {
+		t.Errorf("subset laws: %v", err)
+	}
+
+	jaccardBounds := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		j := a.Jaccard(b)
+		return j >= 0 && j <= 1 && j == b.Jaccard(a) && (j == 1) == a.Equal(b)
+	}
+	if err := quick.Check(jaccardBounds, cfg); err != nil {
+		t.Errorf("jaccard bounds: %v", err)
+	}
+
+	sortedInvariant := func(ra, rb []uint16) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		for _, s := range []Set{a.Union(b), a.Intersect(b), a.Diff(b)} {
+			if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+				return false
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i-1] == s[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sortedInvariant, cfg); err != nil {
+		t.Errorf("sorted invariant: %v", err)
+	}
+}
+
+func TestQuickUnionAllMatchesIterative(t *testing.T) {
+	f := func(raw [][]uint16) bool {
+		sets := make([]Set, len(raw))
+		var iter Set
+		for i, r := range raw {
+			sets[i] = randomSet(r)
+			iter = iter.Union(sets[i])
+		}
+		return UnionAll(sets).Equal(iter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBuilderMatchesNew(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := NewBuilder(len(raw))
+		items := make([]Item, len(raw))
+		for i, v := range raw {
+			items[i] = Item(v % 128)
+			b.Add(items[i])
+		}
+		return b.Build().Equal(New(items...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersectSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]Item, 0, 1000)
+	c := make([]Item, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		a = append(a, Item(rng.Intn(100000)))
+		c = append(c, Item(rng.Intn(100000)))
+	}
+	sa, sc := New(a...), New(c...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa.IntersectSize(sc)
+	}
+}
+
+func BenchmarkIntersectSizeGalloping(b *testing.B) {
+	big := Range(0, 200000)
+	small := New(5, 77777, 123456, 199999)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		small.IntersectSize(big)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 2, 3)
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliased the original")
+	}
+	if New().Clone() != nil {
+		t.Fatal("Clone of empty should be nil")
+	}
+}
+
+func TestReflectDeepEqualCompatible(t *testing.T) {
+	// Sets built different ways with the same contents must be deeply equal,
+	// since tests elsewhere rely on it.
+	a := New(3, 1, 2)
+	b := FromSorted([]Item{1, 2, 3})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("DeepEqual(%v, %v) = false", a, b)
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+
+	"categorytree/internal/text"
+	"categorytree/internal/tree"
+)
+
+// SuggestLabels names unlabeled categories from their items' titles,
+// supporting the labeling workflow of Section 2.3: categories covering
+// input sets already carry the query text; the remaining (intermediate,
+// misc) categories get the tokens that most distinguish their items from
+// their parent's. Existing labels are never overwritten.
+//
+// maxTokens bounds the label length (default 2).
+func SuggestLabels(t *tree.Tree, titles []string, maxTokens int) {
+	if maxTokens <= 0 {
+		maxTokens = 2
+	}
+	tokensOf := make([][]string, len(titles))
+	for i, title := range titles {
+		tokensOf[i] = text.Tokenize(title)
+	}
+
+	// share returns each token's fraction of the category's items that
+	// mention it.
+	share := func(n *tree.Node) map[string]float64 {
+		counts := make(map[string]float64)
+		for _, it := range n.Items.Slice() {
+			if int(it) >= len(tokensOf) {
+				continue
+			}
+			seen := make(map[string]bool)
+			for _, tok := range tokensOf[it] {
+				if !seen[tok] {
+					seen[tok] = true
+					counts[tok]++
+				}
+			}
+		}
+		total := float64(n.Items.Len())
+		if total > 0 {
+			for tok := range counts {
+				counts[tok] /= total
+			}
+		}
+		return counts
+	}
+
+	var walk func(n *tree.Node, parentShare map[string]float64)
+	walk = func(n *tree.Node, parentShare map[string]float64) {
+		s := share(n)
+		if n.Label == "" && n != t.Root() && n.Items.Len() > 0 {
+			n.Label = distinguishingLabel(s, parentShare, maxTokens)
+		}
+		for _, c := range n.Children() {
+			walk(c, s)
+		}
+	}
+	walk(t.Root(), nil)
+}
+
+// distinguishingLabel picks the tokens most overrepresented in the category
+// relative to its parent.
+func distinguishingLabel(s, parent map[string]float64, maxTokens int) string {
+	type scored struct {
+		tok   string
+		score float64
+	}
+	var cands []scored
+	for tok, sh := range s {
+		if sh < 0.3 {
+			continue // a label token should describe a meaningful share
+		}
+		lift := sh
+		if parent != nil {
+			lift = sh - parent[tok]
+		}
+		cands = append(cands, scored{tok: tok, score: lift})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].tok < cands[j].tok
+	})
+	if len(cands) > maxTokens {
+		cands = cands[:maxTokens]
+	}
+	parts := make([]string, len(cands))
+	for i, c := range cands {
+		parts[i] = c.tok
+	}
+	if len(parts) == 0 {
+		return "misc"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,80 @@
+package mis
+
+import (
+	"testing"
+
+	"categorytree/internal/xrand"
+)
+
+// sparseBenchGraph mimics a conflict graph: many vertices, low average
+// degree, small components.
+func sparseBenchGraph(n, edges int) *Hypergraph {
+	rng := xrand.New(9)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()*5
+	}
+	g := NewHypergraph(n, weights)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	for t := 0; t < edges/10; t++ {
+		idx := rng.SampleK(n, 3)
+		if !g.HasEdge(idx[0], idx[1]) && !g.HasEdge(idx[1], idx[2]) && !g.HasEdge(idx[0], idx[2]) {
+			g.AddTriangle(idx[0], idx[1], idx[2])
+		}
+	}
+	return g
+}
+
+func BenchmarkSolveSparse2000(b *testing.B) {
+	g := sparseBenchGraph(2000, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Solve(g, DefaultOptions())
+		if len(res.Set) == 0 {
+			b.Fatal("empty solution")
+		}
+	}
+}
+
+func BenchmarkGreedy2000(b *testing.B) {
+	g := sparseBenchGraph(2000, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solveGreedy(g)
+	}
+}
+
+func BenchmarkLocalSearch(b *testing.B) {
+	g := sparseBenchGraph(500, 800)
+	start := solveGreedy(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		localSearch(g, start, 5)
+	}
+}
+
+func BenchmarkKernelize(b *testing.B) {
+	g := sparseBenchGraph(2000, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernelize(g)
+	}
+}
+
+func BenchmarkSolvePartition(b *testing.B) {
+	g := sparseBenchGraph(800, 900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolvePartition(g, 4, DefaultOptions())
+	}
+}

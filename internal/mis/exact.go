@@ -1,0 +1,381 @@
+package mis
+
+import "sort"
+
+// exactSolver is a branch-and-reduce search for maximum weight independent
+// sets on a (typically kernelized component of a) hypergraph.
+//
+// The search maintains a trail of changes so branches undo in O(changes).
+// 3-edges are enforced lazily: a triangle with two included vertices forces
+// the third excluded; a triangle with an excluded vertex is dead (satisfied
+// forever). Two weighted reductions run at every search node, on vertices
+// free of live triangles:
+//
+//   - neighborhood removal: if w(v) ≥ Σ w(free neighbors of v), include v;
+//   - degree-1 fold: a vertex v whose only live constraint is one neighbor
+//     u is folded away — bank w(v), reduce w(u) by w(v), and at extraction
+//     time put v in the solution exactly when u is out.
+//
+// These collapse the tree-like fringes that dominate sparse conflict
+// graphs, which is what makes whole-dataset instances solvable exactly (the
+// behaviour the paper reports for the solver of Lamm et al. [22]).
+//
+// The upper bound ignores triangles (a relaxation, hence valid) and uses a
+// greedy clique cover over the 2-edges of the free vertices: at most one
+// vertex per clique can join the solution, so the bound adds each clique's
+// maximum free weight.
+type exactSolver struct {
+	g       *Hypergraph
+	weights []float64 // mutable copy; folds reduce entries
+	status  []int8    // free / included / excluded / folded
+	triInc  []int8    // included vertices per triangle
+	triDed  []bool    // triangle has an excluded vertex (satisfied)
+
+	trail           []change
+	statusTrailVals []int8    // previous status per kind-0 entry
+	weightTrailVals []float64 // previous weight per kind-3 entry
+	folds           []foldRec // active folds, oldest first
+	curW            float64
+
+	best  []int
+	bestW float64
+
+	nodes  int64
+	budget int64
+	// aborted is set when the node budget runs out; the result is then the
+	// best solution found, without an optimality certificate.
+	aborted bool
+
+	// scratch reused by the bound computation
+	cliqueOf []int32
+}
+
+type change struct {
+	kind int8 // 0 status, 1 triInc, 2 triDed, 3 weight, 4 fold
+	idx  int32
+}
+
+type foldRec struct {
+	v, u int32 // v folded into u: v ∈ solution iff u ∉ solution
+}
+
+const (
+	free int8 = iota
+	included
+	excluded
+	folded
+)
+
+// solveExact finds a maximum weight independent set of g, exploring at most
+// budget search nodes. It returns the best set found and whether it is
+// provably optimal. A warm-start incumbent may be supplied to tighten
+// pruning from the first node.
+func solveExact(g *Hypergraph, budget int64, incumbent []int) ([]int, bool) {
+	s := &exactSolver{
+		g:        g,
+		weights:  append([]float64(nil), g.weights...),
+		status:   make([]int8, g.n),
+		triInc:   make([]int8, len(g.tris)),
+		triDed:   make([]bool, len(g.tris)),
+		budget:   budget,
+		cliqueOf: make([]int32, g.n),
+	}
+	if incumbent != nil && g.IsIndependent(incumbent) {
+		s.best = append([]int(nil), incumbent...)
+		s.bestW = g.SetWeight(incumbent)
+	}
+	s.search()
+	if s.best == nil {
+		s.best = []int{}
+	}
+	sort.Ints(s.best)
+	return s.best, !s.aborted
+}
+
+func (s *exactSolver) search() {
+	s.nodes++
+	if s.nodes > s.budget {
+		s.aborted = true
+		return
+	}
+	mark := len(s.trail)
+
+	if !s.reduce() {
+		s.undo(mark)
+		return
+	}
+
+	v := s.pickBranch()
+	if v < 0 {
+		// No free vertices: record the candidate.
+		if s.curW > s.bestW {
+			s.bestW = s.curW
+			s.best = s.resolveSolution()
+		}
+		s.undo(mark)
+		return
+	}
+
+	if s.curW+s.upperBound() <= s.bestW {
+		s.undo(mark)
+		return
+	}
+
+	// Branch 1: include v.
+	m2 := len(s.trail)
+	if s.include(int32(v)) {
+		s.search()
+	}
+	s.undo(m2)
+	if s.aborted {
+		s.undo(mark)
+		return
+	}
+
+	// Branch 2: exclude v.
+	m3 := len(s.trail)
+	s.exclude(int32(v))
+	s.search()
+	s.undo(m3)
+
+	s.undo(mark)
+}
+
+// resolveSolution materializes the current solution, replaying active folds
+// newest-first (a fold's target u is always folded later than v, so u's
+// membership is settled before v's record is visited).
+func (s *exactSolver) resolveSolution() []int {
+	in := make([]bool, s.g.n)
+	for i, st := range s.status {
+		if st == included {
+			in[i] = true
+		}
+	}
+	for k := len(s.folds) - 1; k >= 0; k-- {
+		f := s.folds[k]
+		if !in[f.u] {
+			in[f.v] = true
+		}
+	}
+	var out []int
+	for v, ok := range in {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// reduce applies neighborhood removal and degree-1 folding until fixpoint.
+// It returns false on contradiction (defensive; cannot occur here).
+func (s *exactSolver) reduce() bool {
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < s.g.n; v++ {
+			if s.status[v] != free || s.hasLiveTriangle(int32(v)) {
+				continue
+			}
+			sum := 0.0
+			freeDeg := 0
+			var only int32 = -1
+			for _, u := range s.g.adj[v] {
+				if s.status[u] == free {
+					sum += s.weights[u]
+					freeDeg++
+					only = u
+				}
+			}
+			if s.weights[v] >= sum {
+				if !s.include(int32(v)) {
+					return false
+				}
+				changed = true
+				continue
+			}
+			if freeDeg == 1 {
+				// Fold v into its single live neighbor.
+				s.fold(int32(v), only)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func (s *exactSolver) hasLiveTriangle(v int32) bool {
+	for _, ti := range s.g.triOf[v] {
+		if !s.triDed[ti] {
+			return true
+		}
+	}
+	return false
+}
+
+// pickBranch returns the free vertex with the most live constraints, or -1.
+func (s *exactSolver) pickBranch() int {
+	best, bestKey := -1, int64(-1)
+	for v := 0; v < s.g.n; v++ {
+		if s.status[v] != free {
+			continue
+		}
+		deg := int64(0)
+		for _, u := range s.g.adj[v] {
+			if s.status[u] == free {
+				deg++
+			}
+		}
+		for _, ti := range s.g.triOf[v] {
+			if !s.triDed[ti] {
+				deg++
+			}
+		}
+		// Prefer high degree; break ties toward high weight to find strong
+		// incumbents early.
+		key := deg*1_000_000 + int64(s.weights[v]*1000)
+		if key > bestKey {
+			best, bestKey = v, key
+		}
+	}
+	return best
+}
+
+func (s *exactSolver) setStatus(v int32, st int8) {
+	s.trail = append(s.trail, change{kind: 0, idx: v})
+	s.statusTrailVals = append(s.statusTrailVals, s.status[v])
+	s.status[v] = st
+}
+
+func (s *exactSolver) fold(v, u int32) {
+	s.trail = append(s.trail, change{kind: 3, idx: u})
+	s.weightTrailVals = append(s.weightTrailVals, s.weights[u])
+	s.weights[u] -= s.weights[v]
+
+	s.trail = append(s.trail, change{kind: 4})
+	s.folds = append(s.folds, foldRec{v: v, u: u})
+
+	s.setStatus(v, folded)
+	s.curW += s.weights[v]
+}
+
+// include adds v to the solution, excluding conflicting vertices. It returns
+// false if a contradiction arises (an already-included 2-neighbor or a
+// completed triangle), which the propagation order prevents but is handled
+// defensively.
+func (s *exactSolver) include(v int32) bool {
+	if s.status[v] != free {
+		return s.status[v] == included
+	}
+	s.setStatus(v, included)
+	s.curW += s.weights[v]
+	for _, u := range s.g.adj[v] {
+		switch s.status[u] {
+		case included:
+			return false
+		case free:
+			s.exclude(u)
+		}
+	}
+	for _, ti := range s.g.triOf[v] {
+		if s.triDed[ti] {
+			continue
+		}
+		s.trail = append(s.trail, change{kind: 1, idx: ti})
+		s.triInc[ti]++
+		switch s.triInc[ti] {
+		case 2:
+			// The remaining vertex must be excluded; it is free because a
+			// dead (excluded-vertex) triangle was skipped above.
+			for _, w := range s.g.tris[ti] {
+				if s.status[w] == free {
+					s.exclude(w)
+				}
+			}
+		case 3:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *exactSolver) exclude(v int32) {
+	if s.status[v] != free {
+		return
+	}
+	s.setStatus(v, excluded)
+	for _, ti := range s.g.triOf[v] {
+		if !s.triDed[ti] {
+			s.trail = append(s.trail, change{kind: 2, idx: ti})
+			s.triDed[ti] = true
+		}
+	}
+}
+
+func (s *exactSolver) undo(mark int) {
+	for len(s.trail) > mark {
+		ch := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		switch ch.kind {
+		case 0:
+			prev := s.statusTrailVals[len(s.statusTrailVals)-1]
+			s.statusTrailVals = s.statusTrailVals[:len(s.statusTrailVals)-1]
+			switch s.status[ch.idx] {
+			case included:
+				s.curW -= s.weights[ch.idx]
+			case folded:
+				s.curW -= s.weights[ch.idx]
+			}
+			s.status[ch.idx] = prev
+		case 1:
+			s.triInc[ch.idx]--
+		case 2:
+			s.triDed[ch.idx] = false
+		case 3:
+			prev := s.weightTrailVals[len(s.weightTrailVals)-1]
+			s.weightTrailVals = s.weightTrailVals[:len(s.weightTrailVals)-1]
+			s.weights[ch.idx] = prev
+		case 4:
+			s.folds = s.folds[:len(s.folds)-1]
+		}
+	}
+}
+
+// upperBound computes a greedy clique-cover bound on the total weight still
+// attainable from free vertices.
+func (s *exactSolver) upperBound() float64 {
+	const unassigned = int32(-1)
+	for v := range s.cliqueOf {
+		s.cliqueOf[v] = unassigned
+	}
+	bound := 0.0
+	var cliqueMax float64
+	for v := 0; v < s.g.n; v++ {
+		if s.status[v] != free || s.cliqueOf[v] != unassigned {
+			continue
+		}
+		// Grow a maximal clique seeded at v among free unassigned vertices.
+		s.cliqueOf[v] = int32(v)
+		cliqueMax = s.weights[v]
+		cliqueMembers := []int32{int32(v)}
+		for _, u := range s.g.adj[v] {
+			if s.status[u] != free || s.cliqueOf[u] != unassigned {
+				continue
+			}
+			inClique := true
+			for _, m := range cliqueMembers {
+				if m != int32(v) && !s.g.HasEdge(int(u), int(m)) {
+					inClique = false
+					break
+				}
+			}
+			if inClique {
+				s.cliqueOf[u] = int32(v)
+				cliqueMembers = append(cliqueMembers, u)
+				if w := s.weights[u]; w > cliqueMax {
+					cliqueMax = w
+				}
+			}
+		}
+		bound += cliqueMax
+	}
+	return bound
+}

@@ -1,0 +1,236 @@
+package mis
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// solveGreedy computes an independent set with the classic weighted greedy
+// rule: repeatedly take the free vertex maximizing w(v) / (liveDegree(v)+1)
+// and exclude its neighborhood. Triangles count toward the live degree and
+// are enforced exactly (two included vertices force the third out).
+//
+// It runs in O((n + m) log n) with a lazy-deletion heap and serves both as
+// the fallback for components too large to solve exactly and as the
+// warm-start incumbent for branch and bound.
+func solveGreedy(g *Hypergraph) []int {
+	status := make([]int8, g.n)
+	triInc := make([]int8, len(g.tris))
+	triDed := make([]bool, len(g.tris))
+
+	liveDeg := func(v int) int {
+		d := 0
+		for _, u := range g.adj[v] {
+			if status[u] == free {
+				d++
+			}
+		}
+		for _, ti := range g.triOf[v] {
+			if !triDed[ti] {
+				d++
+			}
+		}
+		return d
+	}
+
+	h := &vertexHeap{}
+	heap.Init(h)
+	for v := 0; v < g.n; v++ {
+		heap.Push(h, heapEntry{v: int32(v), key: g.weights[v] / float64(liveDeg(v)+1)})
+	}
+
+	exclude := func(v int32) {
+		if status[v] != free {
+			return
+		}
+		status[v] = excluded
+		for _, ti := range g.triOf[v] {
+			triDed[ti] = true
+		}
+	}
+
+	var result []int
+	for h.Len() > 0 {
+		ent := heap.Pop(h).(heapEntry)
+		v := ent.v
+		if status[v] != free {
+			continue
+		}
+		// Lazy deletion: degrees only drop, so a vertex's true key only
+		// rises after it was pushed. If the stored key is stale, re-push
+		// with the fresh key instead of trusting the old ordering.
+		key := g.weights[v] / float64(liveDeg(int(v))+1)
+		if key > ent.key {
+			heap.Push(h, heapEntry{v: v, key: key})
+			continue
+		}
+
+		status[v] = included
+		result = append(result, int(v))
+		for _, u := range g.adj[v] {
+			exclude(u)
+		}
+		for _, ti := range g.triOf[v] {
+			if triDed[ti] {
+				continue
+			}
+			triInc[ti]++
+			if triInc[ti] == 2 {
+				for _, w := range g.tris[ti] {
+					if status[w] == free {
+						exclude(w)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(result)
+	return result
+}
+
+type heapEntry struct {
+	v   int32
+	key float64
+}
+
+type vertexHeap []heapEntry
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// localSearch improves an independent set with add moves, (1,1)-swaps, and
+// (1,2)-swaps until a local optimum or the iteration cap. It returns an
+// independent set of weight at least that of the input.
+func localSearch(g *Hypergraph, set []int, maxRounds int) []int {
+	in := make([]bool, g.n)
+	for _, v := range set {
+		in[v] = true
+	}
+
+	// feasible reports whether v can be added given the current solution,
+	// optionally pretending that vertex 'ignore' has been removed.
+	feasible := func(v int, ignore int) bool {
+		if in[v] {
+			return false
+		}
+		for _, u := range g.adj[v] {
+			if in[u] && int(u) != ignore {
+				return false
+			}
+		}
+		for _, ti := range g.triOf[v] {
+			t := g.tris[ti]
+			cnt := 0
+			for _, w := range t {
+				if int(w) != v && int(w) != ignore && in[w] {
+					cnt++
+				}
+			}
+			if cnt >= 2 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+
+		// Add moves: make the solution maximal.
+		for v := 0; v < g.n; v++ {
+			if !in[v] && feasible(v, -1) {
+				in[v] = true
+				improved = true
+			}
+		}
+
+		// Swap moves: remove one solution vertex, insert better neighbors.
+		for v := 0; v < g.n; v++ {
+			if !in[v] {
+				continue
+			}
+			// Candidates are non-solution neighbors of v (anything else
+			// addable would have been added above).
+			var cands []int
+			for _, u := range g.adj[v] {
+				if !in[u] && feasible(int(u), v) {
+					cands = append(cands, int(u))
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			sort.Slice(cands, func(i, j int) bool { return g.weights[cands[i]] > g.weights[cands[j]] })
+			// (1,1)-swap.
+			if g.weights[cands[0]] > g.weights[v] {
+				in[v] = false
+				in[cands[0]] = true
+				improved = true
+				continue
+			}
+			// (1,2)-swap: find two mutually compatible candidates.
+			done := false
+			for i := 0; i < len(cands) && !done; i++ {
+				for j := i + 1; j < len(cands) && !done; j++ {
+					x, y := cands[i], cands[j]
+					if g.weights[x]+g.weights[y] <= g.weights[v] {
+						break // sorted by weight; no later pair can work
+					}
+					if g.HasEdge(x, y) {
+						continue
+					}
+					if triangleBlocks(g, x, y, v, in) {
+						continue
+					}
+					in[v] = false
+					in[x] = true
+					in[y] = true
+					improved = true
+					done = true
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+
+	var out []int
+	for v, ok := range in {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// triangleBlocks reports whether adding both x and y (after removing v)
+// would complete a 3-edge.
+func triangleBlocks(g *Hypergraph, x, y, v int, in []bool) bool {
+	for _, ti := range g.triOf[x] {
+		t := g.tris[ti]
+		hasY := false
+		var third int32 = -1
+		for _, w := range t {
+			if int(w) == y {
+				hasY = true
+			} else if int(w) != x {
+				third = w
+			}
+		}
+		if hasY && third >= 0 && int(third) != v && in[third] {
+			return true
+		}
+	}
+	return false
+}

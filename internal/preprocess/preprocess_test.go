@@ -1,0 +1,189 @@
+package preprocess
+
+import (
+	"testing"
+
+	"categorytree/internal/catalog"
+	"categorytree/internal/queries"
+	"categorytree/internal/sim"
+	"categorytree/internal/xrand"
+)
+
+func pipelineFixture(t *testing.T, nQueries int) (*catalog.Catalog, []queries.RawQuery) {
+	t.Helper()
+	c := catalog.GenerateFashion(xrand.New(11), 1200)
+	log := queries.Generate(c, xrand.New(12), queries.DefaultGenOptions(nQueries))
+	return c, log
+}
+
+func TestRunProducesValidInstance(t *testing.T) {
+	c, log := pipelineFixture(t, 250)
+	inst, st := Run(c, c.ExistingTree(), log, DefaultOptions(sim.ThresholdJaccard, 0.8))
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	if st.Raw != 250 {
+		t.Fatalf("raw count = %d", st.Raw)
+	}
+	if st.Final == 0 || st.Final >= st.Raw {
+		t.Fatalf("pipeline should shrink the log: %+v", st)
+	}
+	if inst.Universe != c.Len() {
+		t.Fatal("universe must match the catalog")
+	}
+}
+
+func TestRareQueriesFiltered(t *testing.T) {
+	c, log := pipelineFixture(t, 300)
+	inst, st := Run(c, c.ExistingTree(), log, DefaultOptions(sim.ThresholdJaccard, 0.8))
+	if st.DroppedRare == 0 {
+		t.Fatal("no rare queries dropped; the generator plants ~8%")
+	}
+	labels := map[string]bool{}
+	for _, s := range inst.Sets {
+		labels[s.Label] = true
+	}
+	for _, q := range log {
+		if q.Kind == "rare" && labels[q.Text] {
+			t.Fatalf("rare query %q survived the floor", q.Text)
+		}
+	}
+}
+
+func TestScatterFilterDropsNoise(t *testing.T) {
+	c, log := pipelineFixture(t, 400)
+	opts := DefaultOptions(sim.ThresholdJaccard, 0.8)
+	// A permissive relevance keeps noisy queries' results broad enough to
+	// scatter; the branch filter must catch a decent share of them.
+	opts.Relevance = 0.3
+	opts.MaxBranches = 6
+	_, st := Run(c, c.ExistingTree(), log, opts)
+	if st.DroppedScatter == 0 {
+		t.Fatalf("scatter filter dropped nothing: %+v", st)
+	}
+	// Without the existing tree the filter is off.
+	_, st2 := Run(c, nil, log, opts)
+	if st2.DroppedScatter != 0 {
+		t.Fatal("scatter filter should be disabled without an existing tree")
+	}
+}
+
+func TestMergingCombinesWeightsAndShrinks(t *testing.T) {
+	c, log := pipelineFixture(t, 300)
+	opts := DefaultOptions(sim.ThresholdJaccard, 0.8)
+	instMerged, stM := Run(c, c.ExistingTree(), log, opts)
+	opts.SkipMerge = true
+	instRaw, stR := Run(c, c.ExistingTree(), log, opts)
+	if stM.Merged == 0 {
+		t.Fatal("no merges on a log with near-duplicate queries")
+	}
+	if instMerged.N() >= instRaw.N() {
+		t.Fatalf("merging should shrink: %d vs %d", instMerged.N(), instRaw.N())
+	}
+	// Total weight is preserved by merging.
+	if diff := instMerged.TotalWeight() - instRaw.TotalWeight(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("merging changed total weight by %v", diff)
+	}
+	if stR.Final != instRaw.N() {
+		t.Fatal("stats inconsistent")
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	c, log := pipelineFixture(t, 150)
+	opts := DefaultOptions(sim.PerfectRecall, 0.6)
+	opts.UniformWeights = true
+	opts.SkipMerge = true
+	inst, _ := Run(c, nil, log, opts)
+	for _, s := range inst.Sets {
+		if s.Weight != 1 {
+			t.Fatalf("uniform weight violated: %v", s.Weight)
+		}
+	}
+}
+
+func TestRecentDaysSkewsTowardTrends(t *testing.T) {
+	c, log := pipelineFixture(t, 400)
+	base := DefaultOptions(sim.ThresholdJaccard, 0.8)
+	base.SkipMerge = true
+	instAll, _ := Run(c, nil, log, base)
+	recent := base
+	recent.RecentDays = 10
+	instRecent, _ := Run(c, nil, log, recent)
+
+	weightOf := func(inst2 map[string]float64, label string) float64 { return inst2[label] }
+	wAll := map[string]float64{}
+	for _, s := range instAll.Sets {
+		wAll[s.Label] = s.Weight
+	}
+	wRecent := map[string]float64{}
+	for _, s := range instRecent.Sets {
+		wRecent[s.Label] = s.Weight
+	}
+	// Every surviving trend query must gain relative weight.
+	checked := 0
+	for _, q := range log {
+		if q.Kind != "trend" {
+			continue
+		}
+		a, r := weightOf(wAll, q.Text), weightOf(wRecent, q.Text)
+		if a == 0 || r == 0 {
+			continue
+		}
+		checked++
+		if r <= a {
+			t.Fatalf("trend query %q lost weight under recent skew: %v vs %v", q.Text, r, a)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no trend queries survived preprocessing in this draw")
+	}
+}
+
+func TestPerfectRecallUsesStricterRelevance(t *testing.T) {
+	j := DefaultOptions(sim.ThresholdJaccard, 0.8)
+	pr := DefaultOptions(sim.PerfectRecall, 0.8)
+	if j.Relevance != 0.8 || pr.Relevance != 0.9 {
+		t.Fatalf("relevance defaults wrong: %v / %v (paper: 0.8 and 0.9)", j.Relevance, pr.Relevance)
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	c, log := pipelineFixture(t, 200)
+	inst, _ := Run(c, nil, log, DefaultOptions(sim.ThresholdJaccard, 0.8))
+	train, test := SplitTrainTest(inst, xrand.New(42))
+	if train.N()+test.N() != inst.N() {
+		t.Fatalf("split sizes %d + %d != %d", train.N(), test.N(), inst.N())
+	}
+	if abs(train.N()-test.N()) > 1 {
+		t.Fatalf("split not even: %d vs %d", train.N(), test.N())
+	}
+	if train.Universe != inst.Universe || test.Universe != inst.Universe {
+		t.Fatal("split must preserve the universe")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAddExistingCategories(t *testing.T) {
+	c, log := pipelineFixture(t, 100)
+	inst, _ := Run(c, nil, log, DefaultOptions(sim.ThresholdJaccard, 0.8))
+	before := inst.N()
+	cats := c.ExistingCategories()
+	AddExistingCategories(inst, cats, 2.5, 0.7)
+	if inst.N() != before+len(cats) {
+		t.Fatal("categories not appended")
+	}
+	last := inst.Sets[inst.N()-1]
+	if last.Source != "existing" || last.Weight != 2.5 || last.Delta != 0.7 {
+		t.Fatalf("existing set misconfigured: %+v", last)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package sim implements the similarity functions of the OCT model
+// (Section 2.2 of the paper): the Jaccard index and F1 score with cutoff and
+// threshold variations, the binary Perfect-Recall function, and the Exact
+// variant, all parameterized by a threshold δ ∈ (0, 1].
+//
+// A similarity function maps a pair (input set q, category C) into [0, 1].
+// Cutoff variants return the raw similarity when it reaches δ and 0
+// otherwise; threshold variants return exactly 1 or 0. Perfect-Recall
+// returns 1 when C fully contains q and the precision is at least δ. With
+// δ = 1 every variant degenerates into the Exact variant, which scores 1
+// only when C = q.
+package sim
+
+import (
+	"fmt"
+
+	"categorytree/internal/intset"
+)
+
+// Variant selects one of the paper's OCT similarity variants.
+type Variant int
+
+const (
+	// CutoffJaccard is J̄_δ: J(q,C) when J ≥ δ, else 0.
+	CutoffJaccard Variant = iota
+	// ThresholdJaccard is Ĵ_δ: 1 when J(q,C) ≥ δ, else 0.
+	ThresholdJaccard
+	// CutoffF1 is F̄1_δ: F1(q,C) when F1 ≥ δ, else 0.
+	CutoffF1
+	// ThresholdF1 is F̂1_δ: 1 when F1(q,C) ≥ δ, else 0.
+	ThresholdF1
+	// PerfectRecall is PR_δ: 1 when r(q,C)=1 and p(q,C) ≥ δ, else 0.
+	PerfectRecall
+	// Exact scores 1 when C = q and 0 otherwise (every variant at δ=1).
+	Exact
+)
+
+var variantNames = map[Variant]string{
+	CutoffJaccard:    "cutoff-jaccard",
+	ThresholdJaccard: "threshold-jaccard",
+	CutoffF1:         "cutoff-f1",
+	ThresholdF1:      "threshold-f1",
+	PerfectRecall:    "perfect-recall",
+	Exact:            "exact",
+}
+
+// String returns the canonical hyphenated name used by CLI flags and JSON.
+func (v Variant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// ParseVariant converts a canonical name back into a Variant.
+func ParseVariant(s string) (Variant, error) {
+	for v, name := range variantNames {
+		if name == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown variant %q", s)
+}
+
+// Variants lists every supported variant in presentation order.
+func Variants() []Variant {
+	return []Variant{CutoffJaccard, ThresholdJaccard, CutoffF1, ThresholdF1, PerfectRecall, Exact}
+}
+
+// Binary reports whether the variant's scores are always 0 or 1.
+func (v Variant) Binary() bool {
+	switch v {
+	case ThresholdJaccard, ThresholdF1, PerfectRecall, Exact:
+		return true
+	}
+	return false
+}
+
+// Base reports which raw similarity underlies the variant. Conflict
+// detection and item assignment branch on this rather than on the exact
+// variant, since cutoff and threshold flavors share all combinatorics.
+type Base int
+
+const (
+	// BaseJaccard covers CutoffJaccard and ThresholdJaccard.
+	BaseJaccard Base = iota
+	// BaseF1 covers CutoffF1 and ThresholdF1.
+	BaseF1
+	// BasePR covers PerfectRecall and Exact.
+	BasePR
+)
+
+// Base returns the raw similarity family of v.
+func (v Variant) Base() Base {
+	switch v {
+	case CutoffJaccard, ThresholdJaccard:
+		return BaseJaccard
+	case CutoffF1, ThresholdF1:
+		return BaseF1
+	default:
+		return BasePR
+	}
+}
+
+// Precision returns p(q, C) = |C∩q| / |C|. The precision of an empty
+// category is 0 by convention (an empty category matches nothing).
+func Precision(q, c intset.Set) float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	return float64(c.IntersectSize(q)) / float64(c.Len())
+}
+
+// Recall returns r(q, C) = |C∩q| / |q|. The recall over an empty input set
+// is 1 by convention (nothing was missed).
+func Recall(q, c intset.Set) float64 {
+	if q.Len() == 0 {
+		return 1
+	}
+	return float64(c.IntersectSize(q)) / float64(q.Len())
+}
+
+// F1 returns the harmonic mean of precision and recall, which for sets
+// simplifies to 2|q∩C| / (|q|+|C|).
+func F1(q, c intset.Set) float64 {
+	if q.Len() == 0 && c.Len() == 0 {
+		return 1
+	}
+	if q.Len() == 0 || c.Len() == 0 {
+		return 0
+	}
+	return 2 * float64(q.IntersectSize(c)) / float64(q.Len()+c.Len())
+}
+
+// Jaccard returns |q∩C| / |q∪C|, with J(∅,∅) = 1.
+func Jaccard(q, c intset.Set) float64 { return q.Jaccard(c) }
+
+// Raw returns the underlying (pre-threshold) similarity of the variant:
+// Jaccard for Jaccard variants, F1 for F1 variants, and (r+p)/2 for
+// Perfect-Recall and Exact (the average used for CCT embeddings, Section 4).
+func Raw(v Variant, q, c intset.Set) float64 {
+	switch v.Base() {
+	case BaseJaccard:
+		return Jaccard(q, c)
+	case BaseF1:
+		return F1(q, c)
+	default:
+		return (Recall(q, c) + Precision(q, c)) / 2
+	}
+}
+
+// Score evaluates S(q, C) for the variant with threshold delta. For the
+// Exact variant delta is ignored (it is fixed at 1).
+func Score(v Variant, q, c intset.Set, delta float64) float64 {
+	switch v {
+	case CutoffJaccard:
+		if j := Jaccard(q, c); j >= delta {
+			return j
+		}
+		return 0
+	case ThresholdJaccard:
+		if Jaccard(q, c) >= delta {
+			return 1
+		}
+		return 0
+	case CutoffF1:
+		if f := F1(q, c); f >= delta {
+			return f
+		}
+		return 0
+	case ThresholdF1:
+		if F1(q, c) >= delta {
+			return 1
+		}
+		return 0
+	case PerfectRecall:
+		if q.SubsetOf(c) && Precision(q, c) >= delta {
+			return 1
+		}
+		return 0
+	case Exact:
+		if q.Equal(c) {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("sim: Score called with invalid variant %d", int(v)))
+	}
+}
+
+// Covers reports whether category C covers input set q at threshold delta,
+// i.e. whether the similarity score is positive ("exceeds the threshold" in
+// the paper's cover terminology).
+func Covers(v Variant, q, c intset.Set, delta float64) bool {
+	return Score(v, q, c, delta) > 0
+}

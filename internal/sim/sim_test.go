@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"categorytree/internal/intset"
+)
+
+func set(items ...intset.Item) intset.Set { return intset.New(items...) }
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPrecisionRecallF1(t *testing.T) {
+	q := set(1, 2, 3, 4)
+	c := set(3, 4, 5)
+	if got := Precision(q, c); !almost(got, 2.0/3.0) {
+		t.Errorf("Precision = %v, want 2/3", got)
+	}
+	if got := Recall(q, c); !almost(got, 0.5) {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+	// F1 = 2pr/(p+r) = 2*(2/3)*(1/2)/(2/3+1/2) = (2/3)/(7/6) = 4/7.
+	if got := F1(q, c); !almost(got, 4.0/7.0) {
+		t.Errorf("F1 = %v, want 4/7", got)
+	}
+}
+
+func TestEdgeConventions(t *testing.T) {
+	if got := Precision(set(1), set()); got != 0 {
+		t.Errorf("Precision with empty category = %v, want 0", got)
+	}
+	if got := Recall(set(), set(1)); got != 1 {
+		t.Errorf("Recall of empty input = %v, want 1", got)
+	}
+	if got := F1(set(), set()); got != 1 {
+		t.Errorf("F1(∅,∅) = %v, want 1", got)
+	}
+	if got := F1(set(1), set()); got != 0 {
+		t.Errorf("F1(q,∅) = %v, want 0", got)
+	}
+}
+
+func TestScoreCutoffVsThreshold(t *testing.T) {
+	q := set(1, 2, 3)
+	c := set(2, 3, 4)
+	j := 0.5 // |∩|=2, |∪|=4
+	if got := Score(CutoffJaccard, q, c, 0.5); !almost(got, j) {
+		t.Errorf("cutoff jaccard at δ=0.5 = %v, want %v", got, j)
+	}
+	if got := Score(CutoffJaccard, q, c, 0.51); got != 0 {
+		t.Errorf("cutoff jaccard below δ = %v, want 0", got)
+	}
+	if got := Score(ThresholdJaccard, q, c, 0.5); got != 1 {
+		t.Errorf("threshold jaccard at δ=0.5 = %v, want 1", got)
+	}
+	if got := Score(ThresholdJaccard, q, c, 0.51); got != 0 {
+		t.Errorf("threshold jaccard below δ = %v, want 0", got)
+	}
+	f := F1(q, c) // 2*2/6 = 2/3
+	if got := Score(CutoffF1, q, c, 0.6); !almost(got, f) {
+		t.Errorf("cutoff F1 = %v, want %v", got, f)
+	}
+	if got := Score(ThresholdF1, q, c, 0.7); got != 0 {
+		t.Errorf("threshold F1 below δ = %v, want 0", got)
+	}
+}
+
+func TestPerfectRecall(t *testing.T) {
+	q := set(1, 2)
+	good := set(1, 2, 3) // recall 1, precision 2/3
+	if got := Score(PerfectRecall, q, good, 0.6); got != 1 {
+		t.Errorf("PR with p=2/3 ≥ 0.6 = %v, want 1", got)
+	}
+	if got := Score(PerfectRecall, q, good, 0.7); got != 0 {
+		t.Errorf("PR with p=2/3 < 0.7 = %v, want 0", got)
+	}
+	partial := set(1, 3) // recall 1/2
+	if got := Score(PerfectRecall, q, partial, 0.1); got != 0 {
+		t.Errorf("PR with imperfect recall = %v, want 0", got)
+	}
+}
+
+func TestExact(t *testing.T) {
+	q := set(1, 2)
+	if got := Score(Exact, q, set(1, 2), 1); got != 1 {
+		t.Errorf("Exact identical = %v, want 1", got)
+	}
+	if got := Score(Exact, q, set(1, 2, 3), 1); got != 0 {
+		t.Errorf("Exact superset = %v, want 0", got)
+	}
+}
+
+// TestPaperExample21 checks the Perfect-Recall scores of tree T1 in
+// Figure 2 / Example 2.1: items a..i mapped to 1..9. C1={a,b,c,d,e,f} covers
+// q1={a,b,c,d,e} at δ=0.8 (precision 5/6), C3={a,b} covers q2, C4={c,d,e,f}
+// covers q3.
+func TestPaperExample21(t *testing.T) {
+	a, b, c, d, e, f := intset.Item(1), intset.Item(2), intset.Item(3), intset.Item(4), intset.Item(5), intset.Item(6)
+	g, h, i := intset.Item(7), intset.Item(8), intset.Item(9)
+	q1 := intset.New(a, b, c, d, e)
+	q2 := intset.New(a, b)
+	q3 := intset.New(c, d, e, f)
+	q4 := intset.New(a, b, f, g, h, i)
+
+	c1 := intset.New(a, b, c, d, e, f)
+	c2 := intset.New(g, h, i)
+	c3 := intset.New(a, b)
+	c4 := intset.New(c, d, e, f)
+
+	const delta = 0.8
+	if Score(PerfectRecall, q1, c1, delta) != 1 {
+		t.Error("C1 should cover q1 (recall 1, precision 5/6 > 0.8)")
+	}
+	if Score(PerfectRecall, q2, c3, delta) != 1 {
+		t.Error("C3 should cover q2")
+	}
+	if Score(PerfectRecall, q3, c4, delta) != 1 {
+		t.Error("C4 should cover q3")
+	}
+	if Score(PerfectRecall, q4, c2, delta) != 0 {
+		t.Error("C2 should not cover q4 (recall < 1)")
+	}
+}
+
+// TestPaperExample22 checks the cutoff Jaccard scores of tree T2 in
+// Figure 2 / Example 2.2 at δ = 0.6 (the figure caption's variant): C1
+// covers q1 with score 1, C2 covers q4 with 2/3, C4 covers q3 with 3/4.
+func TestPaperExample22(t *testing.T) {
+	a, b, c, d, e, f := intset.Item(1), intset.Item(2), intset.Item(3), intset.Item(4), intset.Item(5), intset.Item(6)
+	g, h, i := intset.Item(7), intset.Item(8), intset.Item(9)
+	q1 := intset.New(a, b, c, d, e)
+	q3 := intset.New(c, d, e, f)
+	q4 := intset.New(a, b, f, g, h, i)
+
+	c1 := intset.New(a, b, c, d, e)
+	c2 := intset.New(f, g, h, i)
+	c4 := intset.New(c, d, e)
+
+	const delta = 0.6
+	if got := Score(CutoffJaccard, q1, c1, delta); got != 1 {
+		t.Errorf("C1 over q1 = %v, want 1", got)
+	}
+	if got := Score(CutoffJaccard, q4, c2, delta); !almost(got, 2.0/3.0) {
+		t.Errorf("C2 over q4 = %v, want 2/3", got)
+	}
+	if got := Score(CutoffJaccard, q3, c4, delta); !almost(got, 3.0/4.0) {
+		t.Errorf("C4 over q3 = %v, want 3/4", got)
+	}
+	// The lowered-threshold remark: at δ=0.4 C1 also covers q2={a,b} since
+	// its precision w.r.t. q2 is 0.4... (Jaccard |{a,b}∩C1|/|∪| = 2/5 = 0.4).
+	q2 := intset.New(a, b)
+	if got := Score(CutoffJaccard, q2, c1, 0.4); !almost(got, 0.4) {
+		t.Errorf("C1 over q2 at δ=0.4 = %v, want 0.4", got)
+	}
+}
+
+func TestVariantStringRoundTrip(t *testing.T) {
+	for _, v := range Variants() {
+		got, err := ParseVariant(v.String())
+		if err != nil {
+			t.Fatalf("ParseVariant(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Fatal("ParseVariant should reject unknown names")
+	}
+}
+
+func TestBinaryAndBase(t *testing.T) {
+	cases := []struct {
+		v      Variant
+		binary bool
+		base   Base
+	}{
+		{CutoffJaccard, false, BaseJaccard},
+		{ThresholdJaccard, true, BaseJaccard},
+		{CutoffF1, false, BaseF1},
+		{ThresholdF1, true, BaseF1},
+		{PerfectRecall, true, BasePR},
+		{Exact, true, BasePR},
+	}
+	for _, tc := range cases {
+		if tc.v.Binary() != tc.binary {
+			t.Errorf("%v.Binary() = %v, want %v", tc.v, tc.v.Binary(), tc.binary)
+		}
+		if tc.v.Base() != tc.base {
+			t.Errorf("%v.Base() = %v, want %v", tc.v, tc.v.Base(), tc.base)
+		}
+	}
+}
+
+func randomSet(raw []uint16) intset.Set {
+	items := make([]intset.Item, len(raw))
+	for i, v := range raw {
+		items[i] = intset.Item(v % 48)
+	}
+	return intset.New(items...)
+}
+
+func TestQuickScoreProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 250}
+
+	bounded := func(ra, rb []uint16, rd uint8) bool {
+		q, c := randomSet(ra), randomSet(rb)
+		delta := 0.05 + float64(rd%90)/100.0
+		for _, v := range Variants() {
+			s := Score(v, q, c, delta)
+			if s < 0 || s > 1 {
+				return false
+			}
+			if v.Binary() && s != 0 && s != 1 {
+				return false
+			}
+			// A positive score implies the raw similarity reached delta
+			// (for PR/Exact, implies recall is perfect).
+			if s > 0 && v != Exact && v != PerfectRecall && Raw(v, q, c) < delta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("score bounds: %v", err)
+	}
+
+	identity := func(ra []uint16) bool {
+		q := randomSet(ra)
+		if q.Len() == 0 {
+			return true
+		}
+		for _, v := range Variants() {
+			if Score(v, q, q, 1) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity scores 1: %v", err)
+	}
+
+	deltaOneIsExact := func(ra, rb []uint16) bool {
+		q, c := randomSet(ra), randomSet(rb)
+		if q.Len() == 0 || c.Len() == 0 {
+			return true
+		}
+		want := Score(Exact, q, c, 1)
+		for _, v := range Variants() {
+			if Score(v, q, c, 1) > 0 != (want > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(deltaOneIsExact, cfg); err != nil {
+		t.Errorf("δ=1 degenerates to Exact: %v", err)
+	}
+
+	monotoneInDelta := func(ra, rb []uint16) bool {
+		q, c := randomSet(ra), randomSet(rb)
+		for _, v := range Variants() {
+			prev := math.Inf(1)
+			for _, d := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+				s := Score(v, q, c, d)
+				if s > prev {
+					return false
+				}
+				prev = s
+			}
+		}
+		return true
+	}
+	if err := quick.Check(monotoneInDelta, cfg); err != nil {
+		t.Errorf("monotone in δ: %v", err)
+	}
+
+	f1Symmetric := func(ra, rb []uint16) bool {
+		q, c := randomSet(ra), randomSet(rb)
+		return almost(F1(q, c), F1(c, q))
+	}
+	if err := quick.Check(f1Symmetric, cfg); err != nil {
+		t.Errorf("F1 symmetry: %v", err)
+	}
+
+	prDuality := func(ra, rb []uint16) bool {
+		q, c := randomSet(ra), randomSet(rb)
+		if q.Len() == 0 || c.Len() == 0 {
+			return true
+		}
+		// r(q, c) = p(c, q), noted in Section 4.
+		return almost(Recall(q, c), Precision(c, q))
+	}
+	if err := quick.Check(prDuality, cfg); err != nil {
+		t.Errorf("recall/precision duality: %v", err)
+	}
+}

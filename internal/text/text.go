@@ -1,0 +1,14 @@
+// Package text provides the tokenizer shared by the search engine, the
+// title-embedding baseline, and the tf-idf cohesiveness metric, so every
+// component sees titles and queries the same way.
+package text
+
+import "strings"
+
+// Tokenize lowercases s and splits it on non-alphanumeric boundaries.
+func Tokenize(s string) []string {
+	s = strings.ToLower(s)
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}

@@ -1,0 +1,108 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+)
+
+// Render writes an ASCII rendering of the tree, one category per line, with
+// item counts and (for small categories) the items themselves. maxItems
+// limits how many items are printed per category; 0 prints counts only.
+func (t *Tree) Render(w io.Writer, maxItems int) {
+	var rec func(n *Node, prefix string, last bool)
+	rec = func(n *Node, prefix string, last bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if last {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		if n == t.root {
+			connector = ""
+			childPrefix = ""
+		}
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("category-%d", n.ID)
+		}
+		line := fmt.Sprintf("%s%s%s (%d items", prefix, connector, label, n.Items.Len())
+		if maxItems > 0 && n.Items.Len() <= maxItems {
+			line += ": " + n.Items.String()
+		}
+		line += ")"
+		if len(n.Covers) > 0 {
+			ids := make([]string, len(n.Covers))
+			for i, id := range n.Covers {
+				ids[i] = fmt.Sprintf("q%d", id)
+			}
+			line += " covers[" + strings.Join(ids, ",") + "]"
+		}
+		fmt.Fprintln(w, line)
+		for i, c := range n.children {
+			rec(c, childPrefix, i == len(n.children)-1)
+		}
+	}
+	rec(t.root, "", true)
+}
+
+// nodeJSON is the serialized form of a category.
+type nodeJSON struct {
+	ID       int         `json:"id"`
+	Label    string      `json:"label,omitempty"`
+	Items    intset.Set  `json:"items"`
+	Covers   []oct.SetID `json:"covers,omitempty"`
+	Children []nodeJSON  `json:"children,omitempty"`
+}
+
+func toJSON(n *Node) nodeJSON {
+	j := nodeJSON{ID: n.ID, Label: n.Label, Items: n.Items, Covers: n.Covers}
+	for _, c := range n.children {
+		j.Children = append(j.Children, toJSON(c))
+	}
+	return j
+}
+
+// WriteJSON serializes the tree.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(t.root))
+}
+
+// ReadJSON deserializes a tree previously written with WriteJSON. Node IDs
+// are reassigned to keep them unique.
+func ReadJSON(r io.Reader) (*Tree, error) {
+	var root nodeJSON
+	if err := json.NewDecoder(r).Decode(&root); err != nil {
+		return nil, fmt.Errorf("tree: decoding: %w", err)
+	}
+	t := New(sortedSet(root.Items))
+	t.root.Label = root.Label
+	t.root.Covers = root.Covers
+	var rec func(parent *Node, js []nodeJSON) error
+	rec = func(parent *Node, js []nodeJSON) error {
+		for _, cj := range js {
+			c := t.AddCategory(parent, sortedSet(cj.Items), cj.Label)
+			c.Covers = cj.Covers
+			if err := rec(c, cj.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, root.Children); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// sortedSet re-normalizes a set decoded from JSON, which may have been
+// hand-edited out of order.
+func sortedSet(s intset.Set) intset.Set {
+	return intset.New(s.Slice()...)
+}

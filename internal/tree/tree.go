@@ -1,0 +1,339 @@
+// Package tree implements the solution space of the OCT problem: rooted
+// category trees in which every non-leaf category contains the union of its
+// children's items, and every item belongs to a bounded number of
+// root-to-leaf branches (one, on most platforms).
+//
+// The package provides construction primitives used by the algorithms
+// (adding and removing categories, reparenting, item assignment), validity
+// checking against the model of Section 2.1, scoring S(Q, W, T), and
+// rendering/serialization for the CLI tools.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+)
+
+// Node is one category in the tree. The root holds all items of the tree.
+type Node struct {
+	// ID is a stable identifier unique within the tree.
+	ID int
+	// Items is the category's item set.
+	Items intset.Set
+	// Label is a human-readable name (typically inherited from the input
+	// sets the category covers).
+	Label string
+	// Covers lists the input sets this category was built to cover
+	// (annotation maintained by the algorithms; not used for scoring).
+	Covers []oct.SetID
+
+	parent   *Node
+	children []*Node
+}
+
+// Parent returns the parent category, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the child categories. Callers must not mutate the slice.
+func (n *Node) Children() []*Node { return n.children }
+
+// IsLeaf reports whether the category has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// Depth returns the number of edges from the root to n.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Tree is a category tree. The zero value is not usable; construct with New.
+type Tree struct {
+	root   *Node
+	nextID int
+	nodes  map[int]*Node
+}
+
+// New creates a tree whose root initially holds the given items.
+func New(rootItems intset.Set) *Tree {
+	t := &Tree{nodes: make(map[int]*Node)}
+	t.root = &Node{ID: 0, Items: rootItems, Label: "root"}
+	t.nodes[0] = t.root
+	t.nextID = 1
+	return t
+}
+
+// Root returns the root category.
+func (t *Tree) Root() *Node { return t.root }
+
+// Node returns the category with the given ID, or nil.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Len returns the number of categories including the root.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// AddCategory creates a new category with the given items under parent
+// (the root if parent is nil). Ancestor item sets are NOT updated
+// automatically; use AddItems or rely on construction order. It panics if
+// parent belongs to a different tree.
+func (t *Tree) AddCategory(parent *Node, items intset.Set, label string) *Node {
+	if parent == nil {
+		parent = t.root
+	}
+	if t.nodes[parent.ID] != parent {
+		panic("tree: AddCategory with foreign parent node")
+	}
+	n := &Node{ID: t.nextID, Items: items, Label: label, parent: parent}
+	t.nextID++
+	parent.children = append(parent.children, n)
+	t.nodes[n.ID] = n
+	return n
+}
+
+// AddItems inserts items into n and every ancestor of n, preserving the
+// union invariant.
+func (t *Tree) AddItems(n *Node, items intset.Set) {
+	for cur := n; cur != nil; cur = cur.parent {
+		cur.Items = cur.Items.Union(items)
+	}
+}
+
+// RemoveItems deletes items from n and every descendant of n. Ancestors are
+// left untouched; callers remove from the highest node that should lose the
+// items.
+func (t *Tree) RemoveItems(n *Node, items intset.Set) {
+	n.Items = n.Items.Diff(items)
+	for _, c := range n.children {
+		t.RemoveItems(c, items)
+	}
+}
+
+// Reparent moves n (with its whole subtree) under newParent and restores the
+// union invariant along the new ancestor chain. It panics on attempts to
+// create a cycle.
+func (t *Tree) Reparent(n, newParent *Node) {
+	if n == t.root {
+		panic("tree: cannot reparent the root")
+	}
+	for p := newParent; p != nil; p = p.parent {
+		if p == n {
+			panic("tree: Reparent would create a cycle")
+		}
+	}
+	t.detach(n)
+	n.parent = newParent
+	newParent.children = append(newParent.children, n)
+	t.AddItems(newParent, n.Items)
+}
+
+// RemoveCategory deletes n, splicing its children onto n's parent. The root
+// cannot be removed.
+func (t *Tree) RemoveCategory(n *Node) {
+	if n == t.root {
+		panic("tree: cannot remove the root")
+	}
+	parent := n.parent
+	t.detach(n)
+	for _, c := range n.children {
+		c.parent = parent
+		parent.children = append(parent.children, c)
+	}
+	n.children = nil
+	delete(t.nodes, n.ID)
+}
+
+func (t *Tree) detach(n *Node) {
+	siblings := n.parent.children
+	for i, c := range siblings {
+		if c == n {
+			n.parent.children = append(siblings[:i], siblings[i+1:]...)
+			return
+		}
+	}
+	panic("tree: node missing from its parent's children")
+}
+
+// Walk visits every category in depth-first preorder.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// Categories returns all categories in preorder.
+func (t *Tree) Categories() []*Node {
+	out := make([]*Node, 0, len(t.nodes))
+	t.Walk(func(n *Node) { out = append(out, n) })
+	return out
+}
+
+// Leaves returns all leaf categories in preorder.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Validate checks the two model requirements of Section 2.1:
+//
+//  1. every non-leaf category contains the union of its children's items;
+//  2. every item belongs to at most bound(i) most-specific categories (one
+//     per branch), i.e. appears only on that many root-to-leaf branches.
+//
+// cfg supplies per-item bounds; pass the zero Config for the standard
+// single-branch rule.
+func (t *Tree) Validate(cfg oct.Config) error {
+	// Requirement 1: union containment.
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		for _, c := range n.children {
+			if !c.Items.SubsetOf(n.Items) {
+				err = fmt.Errorf("tree: category %d (%q) does not contain child %d (%q)", n.ID, n.Label, c.ID, c.Label)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Requirement 2: count, per item, the most-specific categories holding
+	// it. Because of requirement 1, the categories holding item i form a
+	// union of root-to-node paths; the number of distinct branches equals
+	// the number of nodes holding i none of whose children holds i.
+	counts := make(map[intset.Item]int)
+	t.Walk(func(n *Node) {
+		for _, it := range n.Items {
+			inChild := false
+			for _, c := range n.children {
+				if c.Items.Contains(it) {
+					inChild = true
+					break
+				}
+			}
+			if !inChild {
+				counts[it]++
+			}
+		}
+	})
+	for it, cnt := range counts {
+		if b := cfg.Bound(it); cnt > b {
+			return fmt.Errorf("tree: item %d appears in %d most-specific categories, bound is %d", it, cnt, b)
+		}
+	}
+	return nil
+}
+
+// BestCover returns the category of T with the maximum similarity to q under
+// (variant, delta), together with that score. Ties prefer the deeper (more
+// specific) category, matching the user behaviour the model captures.
+func (t *Tree) BestCover(v sim.Variant, q intset.Set, delta float64) (*Node, float64) {
+	var best *Node
+	bestScore := 0.0
+	bestDepth := -1
+	t.Walk(func(n *Node) {
+		s := sim.Score(v, q, n.Items, delta)
+		if s > bestScore || (s == bestScore && s > 0 && n.Depth() > bestDepth) {
+			best, bestScore, bestDepth = n, s, n.Depth()
+		}
+	})
+	return best, bestScore
+}
+
+// Score computes S(Q, W, T) = Σ W(q)·max_C S(q, C) for the instance under
+// cfg (using per-set thresholds).
+func (t *Tree) Score(inst *oct.Instance, cfg oct.Config) float64 {
+	total := 0.0
+	for _, s := range inst.Sets {
+		_, sc := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s))
+		total += s.Weight * sc
+	}
+	return total
+}
+
+// NormalizedScore divides Score by the total input weight, the paper's
+// [0, 1] normalization. It returns 0 for zero-weight instances.
+func (t *Tree) NormalizedScore(inst *oct.Instance, cfg oct.Config) float64 {
+	tw := inst.TotalWeight()
+	if tw == 0 {
+		return 0
+	}
+	return t.Score(inst, cfg) / tw
+}
+
+// CoveredSets returns the IDs of input sets with a positive similarity score
+// against some category, i.e. the sets the tree covers.
+func (t *Tree) CoveredSets(inst *oct.Instance, cfg oct.Config) []oct.SetID {
+	var out []oct.SetID
+	for i, s := range inst.Sets {
+		if _, sc := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s)); sc > 0 {
+			out = append(out, oct.SetID(i))
+		}
+	}
+	return out
+}
+
+// Stats summarizes the tree's structure.
+type Stats struct {
+	Categories int
+	Leaves     int
+	MaxDepth   int
+	Items      int
+	// AvgBranching is the mean child count over non-leaf categories.
+	AvgBranching float64
+}
+
+// ComputeStats derives Stats for the tree.
+func (t *Tree) ComputeStats() Stats {
+	var st Stats
+	internal := 0
+	childSum := 0
+	t.Walk(func(n *Node) {
+		st.Categories++
+		if d := n.Depth(); d > st.MaxDepth {
+			st.MaxDepth = d
+		}
+		if n.IsLeaf() {
+			st.Leaves++
+		} else {
+			internal++
+			childSum += len(n.children)
+		}
+	})
+	st.Items = t.root.Items.Len()
+	if internal > 0 {
+		st.AvgBranching = float64(childSum) / float64(internal)
+	}
+	return st
+}
+
+// SortChildren orders every node's children by descending size then ID, for
+// deterministic rendering and tests.
+func (t *Tree) SortChildren() {
+	t.Walk(func(n *Node) {
+		sort.Slice(n.children, func(i, j int) bool {
+			a, b := n.children[i], n.children[j]
+			if a.Items.Len() != b.Items.Len() {
+				return a.Items.Len() > b.Items.Len()
+			}
+			return a.ID < b.ID
+		})
+	})
+}

@@ -1,0 +1,208 @@
+// Package treediff compares two category trees and reports what changed —
+// the review artifact a taxonomist needs when applying the paper's
+// conservative-update workflow (Section 2.3): which categories appeared,
+// which disappeared, which survived with the same or shifted item sets, and
+// how many items moved between branches.
+//
+// Categories are matched by item-set similarity (best Jaccard partner above
+// a match threshold), not by label or position, so renames and reparenting
+// do not hide continuity.
+package treediff
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/tree"
+)
+
+// Match pairs an old category with its best new counterpart.
+type Match struct {
+	Old, New *tree.Node
+	// Jaccard is the item-set similarity of the pair.
+	Jaccard float64
+	// Reparented reports whether the matched parents do not correspond.
+	Reparented bool
+}
+
+// Report is the outcome of a Diff.
+type Report struct {
+	// Matched pairs old categories with their survivors.
+	Matched []Match
+	// Removed lists old categories with no counterpart.
+	Removed []*tree.Node
+	// Added lists new categories with no counterpart.
+	Added []*tree.Node
+	// MovedItems counts items whose most-specific category changed to a
+	// non-matching branch.
+	MovedItems int
+	// Stability is the weighted fraction of old category content preserved:
+	// Σ|old∩new| / Σ|old| over matched pairs and removals.
+	Stability float64
+}
+
+// Diff compares old and new trees. matchAt is the minimum Jaccard for two
+// categories to count as the same category (0 uses the default 0.5).
+func Diff(oldT, newT *tree.Tree, matchAt float64) *Report {
+	if matchAt <= 0 {
+		matchAt = 0.5
+	}
+	oldCats := nonRoot(oldT)
+	newCats := nonRoot(newT)
+
+	// Greedy best-first matching on Jaccard.
+	type cand struct {
+		o, n int
+		j    float64
+	}
+	var cands []cand
+	for oi, o := range oldCats {
+		for ni, n := range newCats {
+			if j := o.Items.Jaccard(n.Items); j >= matchAt {
+				cands = append(cands, cand{o: oi, n: ni, j: j})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].j != cands[j].j {
+			return cands[i].j > cands[j].j
+		}
+		if cands[i].o != cands[j].o {
+			return cands[i].o < cands[j].o
+		}
+		return cands[i].n < cands[j].n
+	})
+
+	rep := &Report{}
+	oldUsed := make([]bool, len(oldCats))
+	newUsed := make([]bool, len(newCats))
+	newOf := make(map[int]int) // old idx -> new idx
+	for _, c := range cands {
+		if oldUsed[c.o] || newUsed[c.n] {
+			continue
+		}
+		oldUsed[c.o], newUsed[c.n] = true, true
+		newOf[c.o] = c.n
+		rep.Matched = append(rep.Matched, Match{Old: oldCats[c.o], New: newCats[c.n], Jaccard: c.j})
+	}
+	for oi, used := range oldUsed {
+		if !used {
+			rep.Removed = append(rep.Removed, oldCats[oi])
+		}
+	}
+	for ni, used := range newUsed {
+		if !used {
+			rep.Added = append(rep.Added, newCats[ni])
+		}
+	}
+
+	// Reparent detection: a matched pair whose parents are not themselves a
+	// matched pair (or both roots).
+	oldIdx := make(map[int]int, len(oldCats)) // node ID -> index
+	for i, o := range oldCats {
+		oldIdx[o.ID] = i
+	}
+	newIdxOf := make(map[int]int, len(newCats))
+	for i, n := range newCats {
+		newIdxOf[n.ID] = i
+	}
+	for mi := range rep.Matched {
+		m := &rep.Matched[mi]
+		op, np := m.Old.Parent(), m.New.Parent()
+		opRoot := op == oldT.Root() || op == nil
+		npRoot := np == newT.Root() || np == nil
+		switch {
+		case opRoot && npRoot:
+		case opRoot != npRoot:
+			m.Reparented = true
+		default:
+			oi, ok1 := oldIdx[op.ID]
+			ni, ok2 := newIdxOf[np.ID]
+			if !ok1 || !ok2 || newOf[oi] != ni || !oldUsed[oi] {
+				m.Reparented = true
+			}
+		}
+	}
+
+	// Stability and item movement.
+	var kept, total float64
+	for _, m := range rep.Matched {
+		kept += float64(m.Old.Items.IntersectSize(m.New.Items))
+		total += float64(m.Old.Items.Len())
+	}
+	for _, o := range rep.Removed {
+		total += float64(o.Items.Len())
+	}
+	if total > 0 {
+		rep.Stability = kept / total
+	}
+	rep.MovedItems = movedItems(oldT, newT, rep)
+	return rep
+}
+
+// movedItems counts items whose most-specific old category matched a new
+// category that no longer holds the item.
+func movedItems(oldT, newT *tree.Tree, rep *Report) int {
+	newOf := make(map[int]*tree.Node)
+	for _, m := range rep.Matched {
+		newOf[m.Old.ID] = m.New
+	}
+	moved := map[intset.Item]bool{}
+	oldT.Walk(func(n *tree.Node) {
+		if n == oldT.Root() {
+			return
+		}
+		dest, ok := newOf[n.ID]
+		if !ok {
+			return
+		}
+		for _, it := range n.Items.Slice() {
+			if !dest.Items.Contains(it) {
+				moved[it] = true
+			}
+		}
+	})
+	return len(moved)
+}
+
+func nonRoot(t *tree.Tree) []*tree.Node {
+	var out []*tree.Node
+	t.Walk(func(n *tree.Node) {
+		if n != t.Root() && n.Items.Len() > 0 {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Render writes a human-readable summary.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "matched %d categories, %d removed, %d added; stability %.1f%%, %d items moved\n",
+		len(r.Matched), len(r.Removed), len(r.Added), r.Stability*100, r.MovedItems)
+	for _, m := range r.Matched {
+		flag := ""
+		if m.Reparented {
+			flag = "  [reparented]"
+		}
+		if m.Jaccard < 1 {
+			fmt.Fprintf(w, "  ~ %-28s -> %-28s J=%.2f%s\n", label(m.Old), label(m.New), m.Jaccard, flag)
+		} else if m.Reparented {
+			fmt.Fprintf(w, "  = %-28s -> %-28s%s\n", label(m.Old), label(m.New), flag)
+		}
+	}
+	for _, o := range r.Removed {
+		fmt.Fprintf(w, "  - %s (%d items)\n", label(o), o.Items.Len())
+	}
+	for _, n := range r.Added {
+		fmt.Fprintf(w, "  + %s (%d items)\n", label(n), n.Items.Len())
+	}
+}
+
+func label(n *tree.Node) string {
+	if n.Label != "" {
+		return n.Label
+	}
+	return fmt.Sprintf("category-%d", n.ID)
+}

@@ -1,0 +1,116 @@
+package treediff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/tree"
+)
+
+func TestDiffIdenticalTrees(t *testing.T) {
+	build := func() *tree.Tree {
+		tr := tree.New(intset.Range(0, 10))
+		a := tr.AddCategory(nil, intset.Range(0, 5), "a")
+		tr.AddCategory(a, intset.Range(0, 2), "a1")
+		tr.AddCategory(nil, intset.Range(5, 10), "b")
+		return tr
+	}
+	rep := Diff(build(), build(), 0)
+	if len(rep.Matched) != 3 || len(rep.Added) != 0 || len(rep.Removed) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Stability != 1 || rep.MovedItems != 0 {
+		t.Fatalf("stability %v, moved %d", rep.Stability, rep.MovedItems)
+	}
+	for _, m := range rep.Matched {
+		if m.Jaccard != 1 || m.Reparented {
+			t.Fatalf("match = %+v", m)
+		}
+	}
+}
+
+func TestDiffDetectsAddRemoveAndDrift(t *testing.T) {
+	oldT := tree.New(intset.Range(0, 12))
+	oldT.AddCategory(nil, intset.Range(0, 6), "shirts")
+	oldT.AddCategory(nil, intset.Range(6, 9), "gone")
+
+	newT := tree.New(intset.Range(0, 12))
+	newT.AddCategory(nil, intset.New(0, 1, 2, 3, 4, 6), "shirts-drifted") // 5 of 6 kept
+	newT.AddCategory(nil, intset.Range(9, 12), "fresh")
+
+	rep := Diff(oldT, newT, 0.5)
+	if len(rep.Matched) != 1 || len(rep.Removed) != 1 || len(rep.Added) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Removed[0].Label != "gone" || rep.Added[0].Label != "fresh" {
+		t.Fatalf("wrong add/remove: %v / %v", rep.Removed[0].Label, rep.Added[0].Label)
+	}
+	m := rep.Matched[0]
+	if m.Old.Label != "shirts" || m.New.Label != "shirts-drifted" {
+		t.Fatalf("match = %+v", m)
+	}
+	// Item 5 left the matched category.
+	if rep.MovedItems != 1 {
+		t.Fatalf("moved = %d, want 1", rep.MovedItems)
+	}
+	// Stability: kept 5 of (6 matched + 3 removed) = 5/9.
+	if diff := rep.Stability - 5.0/9.0; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("stability = %v, want 5/9", rep.Stability)
+	}
+}
+
+func TestDiffDetectsReparenting(t *testing.T) {
+	oldT := tree.New(intset.Range(0, 8))
+	pa := oldT.AddCategory(nil, intset.Range(0, 4), "parentA")
+	oldT.AddCategory(pa, intset.New(0, 1), "child")
+	oldT.AddCategory(nil, intset.Range(4, 8), "parentB")
+
+	newT := tree.New(intset.Range(0, 8))
+	newT.AddCategory(nil, intset.Range(0, 4), "parentA")
+	pb := newT.AddCategory(nil, intset.Range(4, 8), "parentB")
+	// The child moved under parentB (items changed accordingly enough to
+	// still match: same set).
+	newT.AddCategory(pb, intset.New(0, 1), "child")
+	newT.AddItems(pb, intset.New(0, 1))
+
+	rep := Diff(oldT, newT, 0.5)
+	var childMatch *Match
+	for i := range rep.Matched {
+		if rep.Matched[i].Old.Label == "child" {
+			childMatch = &rep.Matched[i]
+		}
+	}
+	if childMatch == nil {
+		t.Fatal("child not matched")
+	}
+	if !childMatch.Reparented {
+		t.Fatal("reparenting not detected")
+	}
+}
+
+func TestRenderMentionsEverything(t *testing.T) {
+	oldT := tree.New(intset.Range(0, 6))
+	oldT.AddCategory(nil, intset.Range(0, 3), "stay")
+	oldT.AddCategory(nil, intset.Range(3, 6), "gone")
+	newT := tree.New(intset.Range(0, 6))
+	newT.AddCategory(nil, intset.Range(0, 3), "stay")
+	newT.AddCategory(nil, intset.New(3), "new")
+	rep := Diff(oldT, newT, 0.5)
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"matched 1", "1 removed", "1 added", "- gone", "+ new"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffEmptyTrees(t *testing.T) {
+	rep := Diff(tree.New(nil), tree.New(nil), 0)
+	if len(rep.Matched)+len(rep.Added)+len(rep.Removed) != 0 {
+		t.Fatalf("empty diff = %+v", rep)
+	}
+}

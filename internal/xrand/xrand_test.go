@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must yield the same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(7)
+	c1 := g.Split(1)
+	g2 := New(7)
+	c2 := g2.Split(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("children with different labels should diverge, %d/50 equal", same)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(1)
+	z := NewZipf(g, 100, 1.1)
+	counts := make([]int, 100)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	// Rank 0 should hold a noticeable fraction of the mass.
+	if float64(counts[0])/draws < 0.05 {
+		t.Fatalf("rank 0 mass too small: %d/%d", counts[0], draws)
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(New(3), 50, 0.9)
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		w := z.Weight(i)
+		if w <= 0 {
+			t.Fatalf("Weight(%d) = %v, want > 0", i, w)
+		}
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", total)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) should panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestWeightedChoice(t *testing.T) {
+	g := New(11)
+	weights := []float64{0, 3, 1}
+	counts := make([]int, 3)
+	for i := 0; i < 4000; i++ {
+		counts[g.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("3:1 weights produced ratio %v", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	g := New(1)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() { recover() }()
+			g.WeightedChoice(w)
+			t.Fatalf("WeightedChoice(%v) should panic", w)
+		}()
+	}
+}
+
+func TestSampleK(t *testing.T) {
+	g := New(5)
+	got := g.SampleK(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("SampleK returned %d items, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if len(g.SampleK(3, 3)) != 3 {
+		t.Fatal("SampleK(n, n) should return all indices")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := New(9)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / 10000
+	if p < 0.21 || p > 0.29 {
+		t.Fatalf("Bool(0.25) rate = %v", p)
+	}
+}
