@@ -7,24 +7,33 @@
 //	octbench -exp fig8a -scale 0.05 -step 0.05
 //	octbench -exp all   -scale 0.02            # CI-sized full sweep
 //	octbench -exp fig8f -scale 1               # paper-scale scalability run
+//
+// Alongside every artifact it prints a per-stage runtime breakdown sourced
+// from the internal/obs registry (timers and workload counters accumulated
+// by the pipeline during that experiment), so score tables always carry
+// their runtime column. Disable with -breakdown=false.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"categorytree/internal/experiments"
+	"categorytree/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'; known: "+fmt.Sprint(experiments.IDs()))
-		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper scale)")
-		step    = flag.Float64("step", 0.05, "δ sweep step (paper: 0.01)")
-		repeats = flag.Int("repeats", 5, "train/test split repetitions (paper: 50)")
-		seed    = flag.Int64("seed", 1, "randomness seed")
+		exp       = flag.String("exp", "all", "experiment id or 'all'; known: "+fmt.Sprint(experiments.IDs()))
+		scale     = flag.Float64("scale", 0.02, "dataset scale factor (1 = paper scale)")
+		step      = flag.Float64("step", 0.05, "δ sweep step (paper: 0.01)")
+		repeats   = flag.Int("repeats", 5, "train/test split repetitions (paper: 50)")
+		seed      = flag.Int64("seed", 1, "randomness seed")
+		breakdown = flag.Bool("breakdown", true, "print the per-stage obs breakdown after each experiment")
 	)
 	flag.Parse()
 
@@ -40,6 +49,7 @@ func main() {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
+		before := obs.Default().Snapshot()
 		start := time.Now()
 		res, err := experiments.Run(id, opts)
 		if err != nil {
@@ -47,6 +57,36 @@ func main() {
 			os.Exit(1)
 		}
 		res.Render(os.Stdout)
+		if *breakdown {
+			renderBreakdown(os.Stdout, obs.Default().Snapshot().Delta(before))
+		}
 		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// renderBreakdown prints the stage timers and workload counters an
+// experiment accumulated, in stable (sorted) order.
+func renderBreakdown(w io.Writer, d obs.Snapshot) {
+	if len(d.Timers) == 0 && len(d.Counters) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "-- stage breakdown (internal/obs) --")
+	names := make([]string, 0, len(d.Timers))
+	for name := range d.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := d.Timers[name]
+		fmt.Fprintf(w, "  %-34s %6d× %10s total %10s avg\n",
+			name, t.Count, t.Total().Round(time.Microsecond), t.Avg().Round(time.Microsecond))
+	}
+	names = names[:0]
+	for name := range d.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-34s %d\n", name, d.Counters[name])
 	}
 }

@@ -13,14 +13,26 @@
 //	                         simulated browse-then-filter session for an
 //	                         ad-hoc target set
 //	GET /api/coverage        per-input-set cover scores (needs -in)
+//	GET /metrics             observability snapshot: per-endpoint request
+//	                         counters and latency histograms, pipeline stage
+//	                         timers, runtime stats (internal/obs)
+//	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof)
+//
+// The server uses read/write timeouts and shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests for up to 10 seconds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"categorytree/internal/oct"
 	"categorytree/internal/tree"
@@ -28,12 +40,13 @@ import (
 
 func main() {
 	var (
-		treePath = flag.String("tree", "tree.json", "tree JSON file")
-		in       = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
-		titles   = flag.String("titles", "", "optional titles file, one per item line")
-		variant  = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
-		delta    = flag.Float64("delta", 0.8, "threshold δ for coverage")
-		addr     = flag.String("addr", "localhost:8080", "listen address")
+		treePath  = flag.String("tree", "tree.json", "tree JSON file")
+		in        = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
+		titles    = flag.String("titles", "", "optional titles file, one per item line")
+		variant   = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
+		delta     = flag.Float64("delta", 0.8, "threshold δ for coverage")
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -52,10 +65,42 @@ func main() {
 		fatal(f.Close())
 	}
 
-	srv, err := newServer(tr, inst, *titles, *variant, *delta)
+	srv, err := newServer(tr, inst, *titles, *variant, *delta, nil, *pprofFlag)
 	fatal(err)
-	log.Printf("octserve: browsing %d categories on http://%s/", tr.Len(), *addr)
-	fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("octserve: browsing %d categories on http://%s/ (metrics at /metrics)", tr.Len(), *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills hard
+		log.Printf("octserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("octserve: shutdown: %w", err))
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

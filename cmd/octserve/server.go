@@ -6,12 +6,16 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"categorytree/internal/facet"
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -24,19 +28,30 @@ type server struct {
 	titles []string
 	cfg    oct.Config
 	mux    *http.ServeMux
+	reg    *obs.Registry
+	start  time.Time
 }
 
-// newServer wires the handler. titlesPath and inst may be empty/nil.
-func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, delta float64) (*server, error) {
+// newServer wires the handler. titlesPath and inst may be empty/nil. Metrics
+// (per-endpoint request counters and latency histograms, plus whatever the
+// in-process pipeline recorded) land in reg and are served at /metrics; a
+// nil reg uses the process-wide default registry. enablePprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, delta float64, reg *obs.Registry, enablePprof bool) (*server, error) {
 	v, err := sim.ParseVariant(variant)
 	if err != nil {
 		return nil, err
 	}
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &server{
-		tree: tr,
-		inst: inst,
-		cfg:  oct.Config{Variant: v, Delta: delta},
-		mux:  http.NewServeMux(),
+		tree:  tr,
+		inst:  inst,
+		cfg:   oct.Config{Variant: v, Delta: delta},
+		mux:   http.NewServeMux(),
+		reg:   reg,
+		start: time.Now(),
 	}
 	if titlesPath != "" {
 		f, err := os.Open(titlesPath)
@@ -53,16 +68,83 @@ func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, de
 		}
 		f.Close()
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/api/tree", s.handleTree)
-	s.mux.HandleFunc("/api/category", s.handleCategory)
-	s.mux.HandleFunc("/api/navigate", s.handleNavigate)
-	s.mux.HandleFunc("/api/coverage", s.handleCoverage)
+	s.mux.HandleFunc("/", s.instrument("index", s.handleIndex))
+	s.mux.HandleFunc("/api/tree", s.instrument("tree", s.handleTree))
+	s.mux.HandleFunc("/api/category", s.instrument("category", s.handleCategory))
+	s.mux.HandleFunc("/api/navigate", s.instrument("navigate", s.handleNavigate))
+	s.mux.HandleFunc("/api/coverage", s.instrument("coverage", s.handleCoverage))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	if enablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint observability: a request
+// counter, an error counter (status ≥ 400), and a latency histogram, all
+// named under "http.<endpoint>".
+func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter("http." + name + "/requests")
+	errors := s.reg.Counter("http." + name + "/errors")
+	latency := s.reg.Histogram("http." + name + "/latency")
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		// Counted on entry so a handler's own snapshot (e.g. /metrics)
+		// includes the request serving it.
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+		latency.Observe(time.Since(t0))
+	}
+}
+
+// metricsView is the /metrics response shape.
+type metricsView struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Runtime       runtimeView  `json:"runtime"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+type runtimeView struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, metricsView{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Runtime: runtimeView{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+			NumGC:          ms.NumGC,
+		},
+		Metrics: s.reg.Snapshot(),
+	})
+}
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {

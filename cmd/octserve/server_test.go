@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/tree"
 )
@@ -21,7 +22,9 @@ func testServer(t *testing.T) *server {
 		{Items: intset.New(0, 1, 2), Weight: 2, Label: "shirts"},
 		{Items: intset.New(3, 4), Weight: 1, Label: "cameras"},
 	}}
-	s, err := newServer(tr, inst, "", "threshold-jaccard", 0.6)
+	// A fresh registry per server keeps the request-count assertions
+	// independent of other tests and of the pipeline packages.
+	s, err := newServer(tr, inst, "", "threshold-jaccard", 0.6, obs.NewRegistry(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +126,7 @@ func TestCoverageEndpoint(t *testing.T) {
 
 	// Without an instance the endpoint 404s.
 	tr := tree.New(nil)
-	s2, err := newServer(tr, nil, "", "exact", 1)
+	s2, err := newServer(tr, nil, "", "exact", 1, obs.NewRegistry(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +151,66 @@ func TestTreeEndpointRoundTrips(t *testing.T) {
 }
 
 func TestNewServerRejectsBadVariant(t *testing.T) {
-	if _, err := newServer(tree.New(nil), nil, "", "nope", 0.5); err == nil {
+	if _, err := newServer(tree.New(nil), nil, "", "nope", 0.5, obs.NewRegistry(), false); err == nil {
 		t.Fatal("bad variant accepted")
+	}
+}
+
+func TestMetricsReflectRequestCounts(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < 3; i++ {
+		if rec := get(t, s, "/api/tree"); rec.Code != 200 {
+			t.Fatalf("tree: status %d", rec.Code)
+		}
+	}
+	if rec := get(t, s, "/api/category?id=999"); rec.Code != 404 {
+		t.Fatalf("missing category: status %d", rec.Code)
+	}
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("metrics: status %d: %s", rec.Code, rec.Body)
+	}
+	var view struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Runtime       struct {
+			Goroutines int `json:"goroutines"`
+		} `json:"runtime"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Runtime.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", view.Runtime.Goroutines)
+	}
+	if got := view.Metrics.Counters["http.tree/requests"]; got != 3 {
+		t.Fatalf("http.tree/requests = %d, want 3", got)
+	}
+	if got := view.Metrics.Counters["http.category/errors"]; got != 1 {
+		t.Fatalf("http.category/errors = %d, want 1", got)
+	}
+	h, ok := view.Metrics.Histograms["http.tree/latency"]
+	if !ok || h.Count != 3 {
+		t.Fatalf("http.tree/latency = %+v (present=%v)", h, ok)
+	}
+	// /metrics counts itself too.
+	if got := view.Metrics.Counters["http.metrics/requests"]; got != 1 {
+		t.Fatalf("http.metrics/requests = %d, want 1", got)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	s := testServer(t) // pprof disabled
+	if rec := get(t, s, "/debug/pprof/"); rec.Code == 200 {
+		t.Fatal("pprof served without the flag")
+	}
+	tr := tree.New(nil)
+	sp, err := newServer(tr, nil, "", "exact", 1, obs.NewRegistry(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, sp, "/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Fatalf("pprof with flag: status %d", rec.Code)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -281,8 +282,12 @@ func isAncestorOrSelf(anc, n *tree.Node) bool {
 }
 
 // Run executes Algorithm 2: the greedy covering loop followed by the
-// marginal-gain sweep for leftovers.
+// marginal-gain sweep for leftovers. Iteration counters and the stage wall
+// time land under "assign.run" in the default obs registry.
 func (a *Assigner) Run() {
+	sp := obs.StartSpan("assign.run")
+	defer sp.End()
+	var iterations, requeues, covers, placements int64
 	h := &gainHeap{}
 	for _, q := range a.targets {
 		if g := a.gain(q); g > 0 {
@@ -290,6 +295,7 @@ func (a *Assigner) Run() {
 		}
 	}
 	for h.Len() > 0 {
+		iterations++
 		ent := heap.Pop(h).(gainEntry)
 		g := a.gain(ent.q)
 		if g <= 0 {
@@ -298,6 +304,7 @@ func (a *Assigner) Run() {
 		if g < ent.gain-1e-15 {
 			// Stale (an earlier assignment consumed shared duplicates or
 			// grew an ancestor category): re-queue with the fresh gain.
+			requeues++
 			heap.Push(h, gainEntry{q: ent.q, gain: g})
 			continue
 		}
@@ -309,11 +316,17 @@ func (a *Assigner) Run() {
 		for _, p := range picks {
 			a.place(p.item, p.dest)
 		}
+		covers++
+		placements += int64(len(picks))
 		// Categories along the touched branches changed; gains are
 		// revalidated lazily on pop, but sets that previously had no
 		// positive gain may have gained one only through coverage loss,
 		// which place() never causes, so no global re-push is needed.
 	}
+	sp.Counter("iterations").Add(iterations)
+	sp.Counter("requeues").Add(requeues)
+	sp.Counter("covered.sets").Add(covers)
+	sp.Counter("placements").Add(placements)
 
 	a.assignLeftovers()
 }
@@ -446,6 +459,9 @@ func (a *Assigner) place(it intset.Item, dest *tree.Node) {
 // a lazy max-heap: gains are recomputed on pop and re-queued when stale, so
 // each placement touches only the moves whose value actually changed.
 func (a *Assigner) assignLeftovers() {
+	sp := obs.StartSpan("assign.run/leftovers")
+	defer sp.End()
+	var iterations, placements int64
 	h := &moveHeap{}
 	push := func(it intset.Item, q oct.SetID) {
 		c := a.catOf[q]
@@ -465,6 +481,7 @@ func (a *Assigner) assignLeftovers() {
 		}
 	}
 	for h.Len() > 0 {
+		iterations++
 		m := heap.Pop(h).(move)
 		c := a.catOf[m.q]
 		if !a.usableFor(m.item, c) {
@@ -479,7 +496,10 @@ func (a *Assigner) assignLeftovers() {
 			continue
 		}
 		a.place(m.item, c)
+		placements++
 	}
+	sp.Counter("iterations").Add(iterations)
+	sp.Counter("placements").Add(placements)
 }
 
 // move is one candidate leftover placement.

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/tree"
 )
@@ -17,6 +18,12 @@ import (
 // Coverage is evaluated against the whole tree, so sets covered
 // incidentally by another set's category are preserved.
 func Condense(inst *oct.Instance, cfg oct.Config, t *tree.Tree) {
+	sp := obs.StartSpan("assign.condense")
+	defer sp.End()
+	before := t.Len()
+	defer func() {
+		sp.Counter("categories.removed").Add(int64(before - t.Len()))
+	}()
 	// Pass 1: drop items appearing only in uncovered sets. The root is
 	// never a cover candidate: it will grow to the full universe when
 	// C_misc is added, so any cover it provides now is illusory.

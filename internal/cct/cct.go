@@ -20,6 +20,7 @@ import (
 	"categorytree/internal/assign"
 	"categorytree/internal/cluster"
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -36,11 +37,24 @@ type Result struct {
 	Dendrogram *cluster.Dendrogram
 	// Total is the wall-clock duration of the build.
 	Total time.Duration
+	// Timings breaks the build down by stage.
+	Timings Timings
 }
 
-// Build runs CCT over the instance under cfg.
+// Timings records per-stage wall-clock durations of one CCT build.
+type Timings struct {
+	Embed    time.Duration
+	Cluster  time.Duration
+	Assign   time.Duration
+	Condense time.Duration
+	Total    time.Duration
+}
+
+// Build runs CCT over the instance under cfg. Per-stage wall times are
+// returned in Result.Timings and recorded under the "cct.build" prefix of
+// the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
-	start := time.Now()
+	span := obs.StartSpan("cct.build")
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("cct: %w", err)
 	}
@@ -54,23 +68,30 @@ func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
 	// Line 1: embeddings. E(q)_i is the raw similarity of q to the i-th
 	// set — Jaccard or F1 for those bases, (r+p)/2 for Perfect-Recall —
 	// sparse because disjoint sets contribute zeros.
+	esp := span.Child("embed")
 	vecs := Embed(inst, cfg)
+	embedDur := esp.End()
 
 	// Lines 2-3: dendrogram → tree skeleton.
+	lsp := span.Child("cluster")
 	dend, err := cluster.Agglomerative(cluster.NewSparsePoints(vecs))
 	if err != nil {
 		return nil, fmt.Errorf("cct: clustering: %w", err)
 	}
 	t, catOf := skeletonFromDendrogram(inst, dend)
+	clusterDur := lsp.End()
 
 	// Line 4: Algorithm 2 assigns all items (every category starts empty).
+	asp := span.Child("assign")
 	targets := make([]oct.SetID, inst.N())
 	for i := range targets {
 		targets[i] = oct.SetID(i)
 	}
 	assign.New(inst, cfg, t, catOf, targets).Run()
+	assignDur := asp.End()
 
 	// Lines 5-7: condense and catch strays.
+	dsp := span.Child("condense")
 	assign.Condense(inst, cfg, t)
 	for q, c := range catOf {
 		if c != nil && t.Node(c.ID) != c {
@@ -78,8 +99,24 @@ func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
 		}
 	}
 	assign.AddMiscCategory(inst, t)
+	condenseDur := dsp.End()
 
-	return &Result{Tree: t, CatOf: catOf, Dendrogram: dend, Total: time.Since(start)}, nil
+	span.Counter("sets").Add(int64(inst.N()))
+	span.Counter("categories").Add(int64(t.Len()))
+	total := span.End()
+	return &Result{
+		Tree:       t,
+		CatOf:      catOf,
+		Dendrogram: dend,
+		Total:      total,
+		Timings: Timings{
+			Embed:    embedDur,
+			Cluster:  clusterDur,
+			Assign:   assignDur,
+			Condense: condenseDur,
+			Total:    total,
+		},
+	}, nil
 }
 
 // Embed computes the CCT embeddings of every input set (exported for the

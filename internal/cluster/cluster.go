@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"categorytree/internal/obs"
 )
 
 // Points exposes pairwise distances over n items to the clusterer.
@@ -144,6 +146,8 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	if n > MaxPoints {
 		return nil, fmt.Errorf("cluster: %d points exceed the %d-point matrix bound; sample representatives first", n, MaxPoints)
 	}
+	sp := obs.StartSpan("cluster.agglomerative")
+	defer sp.End()
 	d := &Dendrogram{Leaves: n}
 	if n == 1 {
 		return d, nil
@@ -174,6 +178,7 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	chain := make([]int, 0, n)
 	next := 0 // scan cursor for restarting an empty chain
 	nextID := n
+	var chainSteps int64 // NN-chain extensions, the algorithm's inner loop
 	for merges := 0; merges < n-1; merges++ {
 		if len(chain) == 0 {
 			for !alive[next] {
@@ -182,6 +187,7 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 			chain = append(chain, next)
 		}
 		for {
+			chainSteps++
 			top := chain[len(chain)-1]
 			// Nearest alive neighbor of top; prefer the chain predecessor
 			// on ties so reciprocity is detected.
@@ -231,6 +237,9 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	// non-decreasing order a global-minimum UPGMA emits. Renumber internal
 	// node ids to match the new order.
 	sortMergesByDistance(d)
+	sp.Counter("points").Add(int64(n))
+	sp.Counter("merges").Add(int64(len(d.Merges)))
+	sp.Counter("chain.steps").Add(chainSteps)
 	return d, nil
 }
 

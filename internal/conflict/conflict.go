@@ -31,8 +31,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"categorytree/internal/intset"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 )
@@ -210,6 +212,8 @@ func Analyze(inst *oct.Instance, cfg oct.Config) *Result {
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
+	sp := obs.StartSpan("conflict.analyze")
+	defer sp.End()
 	n := inst.N()
 	res := &Result{
 		Ranking: inst.Ranking(),
@@ -237,6 +241,7 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 	type pairRes struct {
 		conflicts [][2]oct.SetID
 		together  [][2]oct.SetID
+		pairs     int64 // intersecting pairs evaluated by this worker
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -245,12 +250,16 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 	if workers < 1 {
 		workers = 1
 	}
+	sp.Gauge("workers").Set(float64(workers))
+	workerTimer := obs.GetTimer("conflict.analyze/worker")
 	results := make([]pairRes, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			t0 := time.Now()
+			defer func() { workerTimer.Observe(time.Since(t0)) }()
 			counts := make([]int32, n)  // |I| per partner
 			counts1 := make([]int32, n) // |I₁| per partner
 			var partners []int32
@@ -272,6 +281,7 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 						}
 					}
 				}
+				results[w].pairs += int64(len(partners))
 				for _, b := range partners {
 					inter := int(counts[b])
 					inter1 := inter
@@ -299,7 +309,9 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 	}
 	wg.Wait()
 
+	var pairsChecked int64
 	for _, pr := range results {
+		pairsChecked += pr.pairs
 		for _, c := range pr.conflicts {
 			res.Conflicts2 = append(res.Conflicts2, c)
 			res.conf2[pairKey(c[0], c[1])] = struct{}{}
@@ -319,8 +331,15 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 
 	// 3-conflicts only matter below the Exact threshold.
 	if !exact && !aOpts.No3Conflicts {
+		tsp := sp.Child("triples")
 		res.Conflicts3 = findTripleConflicts(res, workers)
+		tsp.End()
 	}
+	sp.Counter("sets").Add(int64(n))
+	sp.Counter("pairs.checked").Add(pairsChecked)
+	sp.Counter("conflicts2").Add(int64(len(res.Conflicts2)))
+	sp.Counter("conflicts3").Add(int64(len(res.Conflicts3)))
+	sp.Counter("must.together").Add(int64(len(res.mustT)))
 	return res
 }
 

@@ -28,6 +28,7 @@ import (
 	"categorytree/internal/conflict"
 	"categorytree/internal/intset"
 	"categorytree/internal/mis"
+	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -90,9 +91,11 @@ type Timings struct {
 	Total     time.Duration
 }
 
-// Build runs CTCR over the instance under cfg.
+// Build runs CTCR over the instance under cfg. Per-stage wall times are
+// returned in Result.Timings and recorded, along with workload counters,
+// under the "ctcr.build" prefix of the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
-	start := time.Now()
+	span := obs.StartSpan("ctcr.build")
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
@@ -102,12 +105,12 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 
 	// Stage 1 (lines 1-9): rank, find conflicts, build the conflict
 	// (hyper)graph.
-	t0 := time.Now()
+	asp := span.Child("analyze")
 	analysis := conflict.AnalyzeWith(inst, cfg, conflict.Options{No3Conflicts: opts.Disable3Conflicts})
-	analyzeDur := time.Since(t0)
+	analyzeDur := asp.End()
 
 	// Stage 2 (line 10): solve MIS.
-	t0 = time.Now()
+	ssp := span.Child("solve")
 	g := conflict.BuildHypergraph(inst, analysis)
 	var misRes mis.Result
 	switch {
@@ -120,10 +123,10 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 	default:
 		misRes = mis.Solve(g, opts.MIS)
 	}
-	solveDur := time.Since(t0)
+	solveDur := ssp.End()
 
 	// Stage 3 (lines 11-26): construct the tree.
-	t0 = time.Now()
+	csp := span.Child("construct")
 	res := &Result{
 		MIS:       misRes,
 		Conflicts: analysis,
@@ -166,11 +169,15 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 	}
 
 	assign.AddMiscCategory(inst, res.Tree)
+	constructDur := csp.End()
+	span.Counter("sets").Add(int64(inst.N()))
+	span.Counter("selected").Add(int64(len(res.Selected)))
+	span.Counter("categories").Add(int64(res.Tree.Len()))
 	res.Timings = Timings{
 		Analyze:   analyzeDur,
 		Solve:     solveDur,
-		Construct: time.Since(t0),
-		Total:     time.Since(start),
+		Construct: constructDur,
+		Total:     span.End(),
 	}
 	return res, nil
 }

@@ -71,6 +71,13 @@ const (
 // provably optimal. A warm-start incumbent may be supplied to tighten
 // pruning from the first node.
 func solveExact(g *Hypergraph, budget int64, incumbent []int) ([]int, bool) {
+	set, optimal, _ := solveExactN(g, budget, incumbent)
+	return set, optimal
+}
+
+// solveExactN is solveExact, additionally reporting the number of search
+// nodes expanded (the cost driver the observability layer tracks).
+func solveExactN(g *Hypergraph, budget int64, incumbent []int) ([]int, bool, int64) {
 	s := &exactSolver{
 		g:        g,
 		weights:  append([]float64(nil), g.weights...),
@@ -89,7 +96,7 @@ func solveExact(g *Hypergraph, budget int64, incumbent []int) ([]int, bool) {
 		s.best = []int{}
 	}
 	sort.Ints(s.best)
-	return s.best, !s.aborted
+	return s.best, !s.aborted, s.nodes
 }
 
 func (s *exactSolver) search() {

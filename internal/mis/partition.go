@@ -1,6 +1,10 @@
 package mis
 
-import "sort"
+import (
+	"sort"
+
+	"categorytree/internal/obs"
+)
 
 // SolvePartition implements a partitioning-based independent-set heuristic
 // in the spirit of Halldórsson and Losievskaja's algorithm for
@@ -18,6 +22,8 @@ import "sort"
 // guarantee: the best part holds at least 1/k of the optimum's weight
 // because the optimum's restriction to some part is itself independent.
 func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
+	sp := obs.StartSpan("mis.solve.partition")
+	defer sp.End()
 	if parts < 1 {
 		parts = 1
 	}
@@ -73,6 +79,7 @@ func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
 
 	var best []int
 	bestW := -1.0
+	var totalNodes int64
 	for _, grp := range groups {
 		if len(grp) == 0 {
 			continue
@@ -81,7 +88,9 @@ func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
 		var sol []int
 		if sub.N() <= opts.MaxExactComponent {
 			warm := solveGreedy(sub)
-			sol, _ = solveExact(sub, opts.NodeBudget, warm)
+			var nodes int64
+			sol, _, nodes = solveExactN(sub, opts.NodeBudget, warm)
+			totalNodes += nodes
 		} else {
 			sol = localSearch(sub, solveGreedy(sub), opts.LocalSearchRounds)
 		}
@@ -101,10 +110,14 @@ func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
 	// Extend to global maximality and polish.
 	best = localSearch(g, best, opts.LocalSearchRounds)
 	sort.Ints(best)
+	sp.Counter("vertices").Add(int64(g.n))
+	sp.Counter("parts").Add(int64(parts))
+	sp.Counter("nodes.expanded").Add(totalNodes)
 	return Result{
 		Set:        best,
 		Weight:     g.SetWeight(best),
 		Optimal:    false,
 		Components: parts,
+		Nodes:      totalNodes,
 	}
 }

@@ -1,6 +1,10 @@
 package mis
 
-import "sort"
+import (
+	"sort"
+
+	"categorytree/internal/obs"
+)
 
 // Options tunes the Solve pipeline.
 type Options struct {
@@ -43,6 +47,9 @@ type Result struct {
 	Components int
 	// Fixed counts vertices decided by kernelization alone.
 	Fixed int
+	// Nodes is the number of branch-and-bound search nodes expanded across
+	// all exactly-solved components.
+	Nodes int64
 }
 
 // Solve computes a maximum(-ish) weight independent set: kernelize with
@@ -50,6 +57,8 @@ type Result struct {
 // component exactly by branch and bound (warm-started by greedy), and fall
 // back to greedy + local search on oversized components.
 func Solve(g *Hypergraph, opts Options) Result {
+	sp := obs.StartSpan("mis.solve")
+	defer sp.End()
 	if opts.NodeBudget <= 0 {
 		opts.NodeBudget = DefaultOptions().NodeBudget
 	}
@@ -76,8 +85,9 @@ func Solve(g *Hypergraph, opts Options) Result {
 			var sol []int
 			if !heuristicOnly && cg.N() <= opts.MaxExactComponent {
 				warm := localSearch(cg, solveGreedy(cg), opts.LocalSearchRounds)
-				exact, optimal := solveExact(cg, opts.NodeBudget, warm)
+				exact, optimal, nodes := solveExactN(cg, opts.NodeBudget, warm)
 				sol = exact
+				res.Nodes += nodes
 				if !optimal {
 					res.Optimal = false
 				}
@@ -93,6 +103,10 @@ func Solve(g *Hypergraph, opts Options) Result {
 
 	sort.Ints(res.Set)
 	res.Weight = g.SetWeight(res.Set)
+	sp.Counter("vertices").Add(int64(g.n))
+	sp.Counter("components").Add(int64(res.Components))
+	sp.Counter("kernel.fixed").Add(int64(res.Fixed))
+	sp.Counter("nodes.expanded").Add(res.Nodes)
 	return res
 }
 

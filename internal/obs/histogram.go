@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogram bucket upper bounds: exponential from 50µs, doubling 15 times
+// (50µs … ~1.6s) plus an overflow bucket. Fixed bounds keep Observe a single
+// loop over 16 comparisons and one atomic add, and make snapshots directly
+// comparable across processes.
+var bucketBounds = func() []time.Duration {
+	out := make([]time.Duration, 16)
+	b := 50 * time.Microsecond
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// Histogram records a latency distribution in fixed exponential buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets []atomic.Int64 // len(bucketBounds)+1; last is overflow
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(bucketBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	for i, b := range bucketBounds {
+		if d <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(h.buckets)-1].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the bound
+// of the first bucket whose cumulative count reaches q·total. Observations
+// in the overflow bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := int64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= need {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			return bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// Bucket is one histogram bucket of a snapshot.
+type Bucket struct {
+	// LE is the inclusive upper bound in nanoseconds; -1 marks the
+	// overflow bucket.
+	LE int64 `json:"le_ns"`
+	// Count is the number of observations within the bound (non-cumulative).
+	Count int64 `json:"count"`
+}
+
+// HistStat is the exported state of one Histogram. Empty buckets are
+// omitted to keep snapshots small.
+type HistStat struct {
+	Count   int64    `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) stat() HistStat {
+	s := HistStat{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(bucketBounds) {
+			le = bucketBounds[i].Nanoseconds()
+		}
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: c})
+	}
+	return s
+}
+
+// delta subtracts a previous snapshot of the same histogram.
+func (h HistStat) delta(prev HistStat) HistStat {
+	prevBy := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevBy[b.LE] = b.Count
+	}
+	d := HistStat{Count: h.Count - prev.Count, SumNS: h.SumNS - prev.SumNS}
+	for _, b := range h.Buckets {
+		if c := b.Count - prevBy[b.LE]; c != 0 {
+			d.Buckets = append(d.Buckets, Bucket{LE: b.LE, Count: c})
+		}
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package obs
+
+import "time"
+
+// Span is an in-flight timed stage. Spans nest by name: a child of
+// "ctcr.build" named "analyze" records under "ctcr.build/analyze", and its
+// counters under "ctcr.build/analyze/<suffix>". Span is a small value type —
+// starting one allocates nothing beyond the registry's (one-time) metric —
+// so it is safe to use around every pipeline stage.
+//
+// The zero Span is inert: Child returns another inert span and End records
+// nothing, which lets instrumented code accept an optional span without nil
+// checks.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a stage on the registry.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{reg: r, name: name, start: time.Now()}
+}
+
+// StartSpan begins a stage on the Default registry.
+func StartSpan(name string) Span { return std.StartSpan(name) }
+
+// Name returns the span's full (nested) name.
+func (s Span) Name() string { return s.name }
+
+// Child begins a nested stage named <parent>/<name>.
+func (s Span) Child(name string) Span {
+	if s.reg == nil {
+		return Span{}
+	}
+	return s.reg.StartSpan(s.name + "/" + name)
+}
+
+// Counter returns the counter <span name>/<suffix>.
+func (s Span) Counter(suffix string) *Counter {
+	if s.reg == nil {
+		return &Counter{}
+	}
+	return s.reg.Counter(s.name + "/" + suffix)
+}
+
+// Gauge returns the gauge <span name>/<suffix>.
+func (s Span) Gauge(suffix string) *Gauge {
+	if s.reg == nil {
+		return &Gauge{}
+	}
+	return s.reg.Gauge(s.name + "/" + suffix)
+}
+
+// End stops the span, records its duration into the timer bearing the
+// span's name, and returns the duration.
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Timer(s.name).Observe(d)
+	return d
+}
