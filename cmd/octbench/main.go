@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 
 	"categorytree/internal/experiments"
 	"categorytree/internal/obs"
+	"categorytree/internal/obs/trace"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		repeats   = flag.Int("repeats", 5, "train/test split repetitions (paper: 50)")
 		seed      = flag.Int64("seed", 1, "randomness seed")
 		breakdown = flag.Bool("breakdown", true, "print the per-stage obs breakdown after each experiment")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of every pipeline stage to this file (load in chrome://tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,13 @@ func main() {
 		Seed:             *seed,
 	}
 
+	ctx := context.Background()
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+		ctx = trace.WithRecorder(ctx, rec)
+	}
+
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
@@ -51,7 +61,7 @@ func main() {
 	for _, id := range ids {
 		before := obs.Default().Snapshot()
 		start := time.Now()
-		res, err := experiments.Run(id, opts)
+		res, err := experiments.RunContext(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "octbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -61,6 +71,24 @@ func main() {
 			renderBreakdown(os.Stdout, obs.Default().Snapshot().Delta(before))
 		}
 		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, len(rec.Events()))
 	}
 }
 

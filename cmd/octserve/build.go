@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"categorytree/internal/cct"
+	"categorytree/internal/ctcr"
+	"categorytree/internal/obs"
+	"categorytree/internal/obs/trace"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+// buildRequest is the POST /build body. Every field is optional: the
+// algorithm defaults to CTCR, variant and delta to the server's coverage
+// configuration, and the instance to the one loaded with -in.
+type buildRequest struct {
+	// Algorithm is "ctcr" (default) or "cct".
+	Algorithm string `json:"algorithm"`
+	// Variant overrides the server's similarity variant.
+	Variant string `json:"variant"`
+	// Delta overrides the server's threshold δ (0 keeps the default).
+	Delta float64 `json:"delta"`
+	// Trace requests a Chrome trace_event JSON of the build's stages in the
+	// response.
+	Trace bool `json:"trace"`
+	// Instance inlines an OCT instance, overriding the server's.
+	Instance json.RawMessage `json:"instance"`
+}
+
+// buildResponse is the POST /build reply: the constructed tree plus the
+// request-scoped stage breakdown (and the trace, when asked for).
+type buildResponse struct {
+	Algorithm  string          `json:"algorithm"`
+	Variant    string          `json:"variant"`
+	Delta      float64         `json:"delta"`
+	Sets       int             `json:"sets"`
+	Categories int             `json:"categories"`
+	Selected   int             `json:"selected,omitempty"`
+	MISOptimal *bool           `json:"mis_optimal,omitempty"`
+	Stages     obs.Snapshot    `json:"stages"`
+	Tree       json.RawMessage `json:"tree"`
+	Trace      json.RawMessage `json:"trace,omitempty"`
+}
+
+// handleBuild runs a full pipeline build per request. Each request gets its
+// own obs registry via the request context, so stage metrics of concurrent
+// builds never bleed into one another (the server-wide registry still sees
+// the endpoint's request counter and latency through instrument). The
+// request context also carries cancellation: a dropped connection aborts the
+// pipeline mid-stage.
+func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "octserve: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req buildRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+			http.Error(w, "octserve: bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	inst := s.inst
+	if len(req.Instance) > 0 {
+		var err error
+		inst, err = oct.ReadJSON(bytes.NewReader(req.Instance))
+		if err != nil {
+			http.Error(w, "octserve: bad instance: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if inst == nil {
+		http.Error(w, "octserve: no instance: start with -in or inline one in the request", http.StatusBadRequest)
+		return
+	}
+
+	cfg := s.cfg
+	if req.Variant != "" {
+		v, err := sim.ParseVariant(req.Variant)
+		if err != nil {
+			http.Error(w, "octserve: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.Variant = v
+	}
+	if req.Delta != 0 {
+		cfg.Delta = req.Delta
+	}
+
+	// Request-scoped observability: a fresh registry (and recorder, when a
+	// trace was requested) rides the request context through the pipeline.
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(r.Context(), reg)
+	var rec *trace.Recorder
+	if req.Trace {
+		rec = trace.New()
+		ctx = trace.WithRecorder(ctx, rec)
+	}
+
+	resp := buildResponse{Variant: cfg.Variant.String(), Delta: cfg.Delta, Sets: inst.N()}
+	var built *tree.Tree
+	switch req.Algorithm {
+	case "", "ctcr":
+		resp.Algorithm = "ctcr"
+		res, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
+		if err != nil {
+			http.Error(w, "octserve: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		built = res.Tree
+		resp.Selected = len(res.Selected)
+		resp.MISOptimal = &res.MIS.Optimal
+	case "cct":
+		resp.Algorithm = "cct"
+		res, err := cct.BuildContext(ctx, inst, cfg)
+		if err != nil {
+			http.Error(w, "octserve: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		built = res.Tree
+	default:
+		http.Error(w, fmt.Sprintf("octserve: unknown algorithm %q (ctcr, cct)", req.Algorithm), http.StatusBadRequest)
+		return
+	}
+	resp.Categories = built.Len()
+	resp.Stages = reg.Snapshot()
+
+	var buf bytes.Buffer
+	if err := built.WriteJSON(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp.Tree = buf.Bytes()
+	if rec != nil {
+		var tb bytes.Buffer
+		if err := rec.WriteJSON(&tb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Trace = tb.Bytes()
+	}
+	writeJSON(w, resp)
+}

@@ -13,9 +13,15 @@
 //	                         simulated browse-then-filter session for an
 //	                         ad-hoc target set
 //	GET /api/coverage        per-input-set cover scores (needs -in)
+//	POST /build              run a full CTCR or CCT build with a
+//	                         request-scoped metrics registry; returns the
+//	                         tree, a per-stage breakdown, and optionally a
+//	                         Chrome trace (also at /api/build)
 //	GET /metrics             observability snapshot: per-endpoint request
 //	                         counters and latency histograms, pipeline stage
-//	                         timers, runtime stats (internal/obs)
+//	                         timers, runtime stats (internal/obs); Prometheus
+//	                         text exposition with Accept: text/plain or
+//	                         ?format=prometheus
 //	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof)
 //
 // The server uses read/write timeouts and shuts down gracefully on SIGINT or

@@ -73,6 +73,9 @@ func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, de
 	s.mux.HandleFunc("/api/category", s.instrument("category", s.handleCategory))
 	s.mux.HandleFunc("/api/navigate", s.instrument("navigate", s.handleNavigate))
 	s.mux.HandleFunc("/api/coverage", s.instrument("coverage", s.handleCoverage))
+	build := s.instrument("build", s.handleBuild)
+	s.mux.HandleFunc("/build", build)
+	s.mux.HandleFunc("/api/build", build)
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -132,7 +135,18 @@ type runtimeView struct {
 	NumGC          uint32 `json:"num_gc"`
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: Prometheus scrapers (Accept: text/plain, or an
+	// explicit ?format=prometheus) get the text exposition format; everything
+	// else gets the JSON view.
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.Snapshot().WritePrometheus(w, "oct"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	writeJSON(w, metricsView{

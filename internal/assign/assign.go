@@ -17,6 +17,7 @@ package assign
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -285,8 +286,16 @@ func isAncestorOrSelf(anc, n *tree.Node) bool {
 // marginal-gain sweep for leftovers. Iteration counters and the stage wall
 // time land under "assign.run" in the default obs registry.
 func (a *Assigner) Run() {
-	sp := obs.StartSpan("assign.run")
+	_ = a.RunContext(context.Background())
+}
+
+// RunContext is Run with a context: metrics land in the context's obs
+// registry, trace spans nest under the caller's, and cancellation aborts the
+// covering loop between iterations, returning ctx.Err().
+func (a *Assigner) RunContext(ctx context.Context) error {
+	sp, ctx := obs.StartSpanContext(ctx, "assign.run")
 	defer sp.End()
+	done := ctx.Done()
 	var iterations, requeues, covers, placements int64
 	h := &gainHeap{}
 	for _, q := range a.targets {
@@ -295,6 +304,11 @@ func (a *Assigner) Run() {
 		}
 	}
 	for h.Len() > 0 {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		iterations++
 		ent := heap.Pop(h).(gainEntry)
 		g := a.gain(ent.q)
@@ -327,8 +341,12 @@ func (a *Assigner) Run() {
 	sp.Counter("requeues").Add(requeues)
 	sp.Counter("covered.sets").Add(covers)
 	sp.Counter("placements").Add(placements)
+	sp.Attr("iterations", iterations)
+	sp.Attr("covered.sets", covers)
+	sp.Attr("placements", placements)
 
-	a.assignLeftovers()
+	a.assignLeftovers(ctx)
+	return ctx.Err()
 }
 
 type placement struct {
@@ -458,9 +476,10 @@ func (a *Assigner) place(it intset.Item, dest *tree.Node) {
 // set (lines 10-12 of Algorithm 2). Candidate (item, category) moves sit in
 // a lazy max-heap: gains are recomputed on pop and re-queued when stale, so
 // each placement touches only the moves whose value actually changed.
-func (a *Assigner) assignLeftovers() {
-	sp := obs.StartSpan("assign.run/leftovers")
+func (a *Assigner) assignLeftovers(ctx context.Context) {
+	sp, ctx := obs.StartSpanContext(ctx, "assign.run/leftovers")
 	defer sp.End()
+	done := ctx.Done()
 	var iterations, placements int64
 	h := &moveHeap{}
 	push := func(it intset.Item, q oct.SetID) {
@@ -481,6 +500,11 @@ func (a *Assigner) assignLeftovers() {
 		}
 	}
 	for h.Len() > 0 {
+		select {
+		case <-done:
+			return
+		default:
+		}
 		iterations++
 		m := heap.Pop(h).(move)
 		c := a.catOf[m.q]

@@ -1,6 +1,8 @@
 package assign
 
 import (
+	"context"
+
 	"categorytree/internal/intset"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
@@ -18,7 +20,14 @@ import (
 // Coverage is evaluated against the whole tree, so sets covered
 // incidentally by another set's category are preserved.
 func Condense(inst *oct.Instance, cfg oct.Config, t *tree.Tree) {
-	sp := obs.StartSpan("assign.condense")
+	CondenseContext(context.Background(), inst, cfg, t)
+}
+
+// CondenseContext is Condense with a context: metrics land in the context's
+// obs registry and trace spans nest under the caller's. Condensing is a
+// short single pass, so cancellation is not polled mid-way.
+func CondenseContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, t *tree.Tree) {
+	sp, _ := obs.StartSpanContext(ctx, "assign.condense")
 	defer sp.End()
 	before := t.Len()
 	defer func() {

@@ -13,6 +13,7 @@
 package cct
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -54,7 +55,15 @@ type Timings struct {
 // returned in Result.Timings and recorded under the "cct.build" prefix of
 // the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
-	span := obs.StartSpan("cct.build")
+	return BuildContext(context.Background(), inst, cfg)
+}
+
+// BuildContext is Build with a context: metrics land in the context's obs
+// registry, trace spans nest under the caller's, and cancellation aborts
+// between and inside stages (clustering's merge loop, the assignment loop),
+// returning ctx.Err().
+func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Result, error) {
+	span, ctx := obs.StartSpanContext(ctx, "cct.build")
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("cct: %w", err)
 	}
@@ -73,26 +82,30 @@ func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
 	embedDur := esp.End()
 
 	// Lines 2-3: dendrogram → tree skeleton.
-	lsp := span.Child("cluster")
-	dend, err := cluster.Agglomerative(cluster.NewSparsePoints(vecs))
+	lsp, lctx := span.ChildContext(ctx, "cluster")
+	dend, err := cluster.AgglomerativeContext(lctx, cluster.NewSparsePoints(vecs))
 	if err != nil {
+		lsp.End()
 		return nil, fmt.Errorf("cct: clustering: %w", err)
 	}
 	t, catOf := skeletonFromDendrogram(inst, dend)
 	clusterDur := lsp.End()
 
 	// Line 4: Algorithm 2 assigns all items (every category starts empty).
-	asp := span.Child("assign")
+	asp, actx := span.ChildContext(ctx, "assign")
 	targets := make([]oct.SetID, inst.N())
 	for i := range targets {
 		targets[i] = oct.SetID(i)
 	}
-	assign.New(inst, cfg, t, catOf, targets).Run()
+	err = assign.New(inst, cfg, t, catOf, targets).RunContext(actx)
 	assignDur := asp.End()
+	if err != nil {
+		return nil, fmt.Errorf("cct: %w", err)
+	}
 
 	// Lines 5-7: condense and catch strays.
-	dsp := span.Child("condense")
-	assign.Condense(inst, cfg, t)
+	dsp, dctx := span.ChildContext(ctx, "condense")
+	assign.CondenseContext(dctx, inst, cfg, t)
 	for q, c := range catOf {
 		if c != nil && t.Node(c.ID) != c {
 			catOf[q] = nil
@@ -103,6 +116,8 @@ func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
 
 	span.Counter("sets").Add(int64(inst.N()))
 	span.Counter("categories").Add(int64(t.Len()))
+	span.Attr("sets", inst.N())
+	span.Attr("categories", t.Len())
 	total := span.End()
 	return &Result{
 		Tree:       t,

@@ -1,0 +1,24 @@
+package cct
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/xrand"
+)
+
+func TestBuildContextCanceled(t *testing.T) {
+	inst := randomInstance(xrand.New(1), 20, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BuildContext(ctx, inst, oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.6})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil on cancellation", res)
+	}
+}

@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -139,6 +140,13 @@ const MaxPoints = 12000
 // sequence it emits is ordered by merge distance, matching what a
 // global-minimum implementation would produce.
 func Agglomerative(p Points) (*Dendrogram, error) {
+	return AgglomerativeContext(context.Background(), p)
+}
+
+// AgglomerativeContext is Agglomerative with a context: metrics land in the
+// context's obs registry, trace spans nest under the caller's, and
+// cancellation aborts the merge loop between merges, returning ctx.Err().
+func AgglomerativeContext(ctx context.Context, p Points) (*Dendrogram, error) {
 	n := p.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no points")
@@ -146,8 +154,9 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	if n > MaxPoints {
 		return nil, fmt.Errorf("cluster: %d points exceed the %d-point matrix bound; sample representatives first", n, MaxPoints)
 	}
-	sp := obs.StartSpan("cluster.agglomerative")
+	sp, ctx := obs.StartSpanContext(ctx, "cluster.agglomerative")
 	defer sp.End()
+	done := ctx.Done()
 	d := &Dendrogram{Leaves: n}
 	if n == 1 {
 		return d, nil
@@ -180,6 +189,11 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	nextID := n
 	var chainSteps int64 // NN-chain extensions, the algorithm's inner loop
 	for merges := 0; merges < n-1; merges++ {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
 		if len(chain) == 0 {
 			for !alive[next] {
 				next++
@@ -240,6 +254,9 @@ func Agglomerative(p Points) (*Dendrogram, error) {
 	sp.Counter("points").Add(int64(n))
 	sp.Counter("merges").Add(int64(len(d.Merges)))
 	sp.Counter("chain.steps").Add(chainSteps)
+	sp.Attr("points", n)
+	sp.Attr("merges", len(d.Merges))
+	sp.Attr("chain.steps", chainSteps)
 	return d, nil
 }
 

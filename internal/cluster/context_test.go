@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+)
+
+func TestAgglomerativeContextCanceled(t *testing.T) {
+	p := linePoints{0, 1, 2, 100, 101, 102}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := AgglomerativeContext(ctx, p)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d != nil {
+		t.Fatalf("dendrogram = %+v, want nil on cancellation", d)
+	}
+}
+
+func TestAgglomerativeContextValidationBeatsCancellation(t *testing.T) {
+	// Input validation is checked before the context, so an empty input on a
+	// canceled context still reports the shape error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AgglomerativeContext(ctx, linePoints{}); err == context.Canceled || err == nil {
+		t.Fatalf("err = %v, want the empty-input error", err)
+	}
+}

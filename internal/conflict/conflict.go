@@ -27,6 +27,7 @@
 package conflict
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -212,7 +213,17 @@ func Analyze(inst *oct.Instance, cfg oct.Config) *Result {
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
-	sp := obs.StartSpan("conflict.analyze")
+	res, _ := AnalyzeContext(context.Background(), inst, cfg, aOpts)
+	return res
+}
+
+// AnalyzeContext is AnalyzeWith with a context: metrics land in the
+// context's obs registry (per-request when the caller attached one), trace
+// spans nest under the caller's, and cancellation is honored between pair
+// enumerations — a canceled context aborts the parallel sweep and returns
+// ctx.Err() with a nil result.
+func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOpts Options) (*Result, error) {
+	sp, ctx := obs.StartSpanContext(ctx, "conflict.analyze")
 	defer sp.End()
 	n := inst.N()
 	res := &Result{
@@ -241,7 +252,8 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 	type pairRes struct {
 		conflicts [][2]oct.SetID
 		together  [][2]oct.SetID
-		pairs     int64 // intersecting pairs evaluated by this worker
+		pairs     int64         // intersecting pairs evaluated by this worker
+		elapsed   time.Duration // worker wall time, for the skew gauge
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -251,7 +263,8 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 		workers = 1
 	}
 	sp.Gauge("workers").Set(float64(workers))
-	workerTimer := obs.GetTimer("conflict.analyze/worker")
+	workerTimer := sp.Timer("worker")
+	done := ctx.Done()
 	results := make([]pairRes, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -259,11 +272,19 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 		go func(w int) {
 			defer wg.Done()
 			t0 := time.Now()
-			defer func() { workerTimer.Observe(time.Since(t0)) }()
+			defer func() {
+				results[w].elapsed = time.Since(t0)
+				workerTimer.Observe(results[w].elapsed)
+			}()
 			counts := make([]int32, n)  // |I| per partner
 			counts1 := make([]int32, n) // |I₁| per partner
 			var partners []int32
 			for a := w; a < n; a += workers {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				partners = partners[:0]
 				qa := inst.Sets[a]
 				for _, it := range qa.Items.Slice() {
@@ -308,6 +329,23 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Worker skew (max/mean wall time) flags uneven stride partitions: a
+	// value near 1 means the parallel sweep was balanced.
+	var maxElapsed, sumElapsed time.Duration
+	for _, pr := range results {
+		sumElapsed += pr.elapsed
+		if pr.elapsed > maxElapsed {
+			maxElapsed = pr.elapsed
+		}
+	}
+	if sumElapsed > 0 {
+		mean := float64(sumElapsed) / float64(workers)
+		sp.Gauge("worker_skew").Set(float64(maxElapsed) / mean)
+	}
 
 	var pairsChecked int64
 	for _, pr := range results {
@@ -332,22 +370,29 @@ func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
 	// 3-conflicts only matter below the Exact threshold.
 	if !exact && !aOpts.No3Conflicts {
 		tsp := sp.Child("triples")
-		res.Conflicts3 = findTripleConflicts(res, workers)
+		res.Conflicts3 = findTripleConflicts(ctx, res, workers)
 		tsp.End()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	sp.Counter("sets").Add(int64(n))
 	sp.Counter("pairs.checked").Add(pairsChecked)
 	sp.Counter("conflicts2").Add(int64(len(res.Conflicts2)))
 	sp.Counter("conflicts3").Add(int64(len(res.Conflicts3)))
 	sp.Counter("must.together").Add(int64(len(res.mustT)))
-	return res
+	sp.Attr("sets", n)
+	sp.Attr("pairs.checked", pairsChecked)
+	sp.Attr("conflicts2", len(res.Conflicts2))
+	sp.Attr("conflicts3", len(res.Conflicts3))
+	return res, nil
 }
 
 // findTripleConflicts applies the rule of Section 3.2: for q1–q2–q3 with
 // both {q1,q2} and {q2,q3} must-cover-together, q2 not the largest
 // (lowest-rank-number) of the three, and {q1,q3} neither must-together nor
 // already a 2-conflict, the triplet is a 3-conflict.
-func findTripleConflicts(res *Result, workers int) [][3]oct.SetID {
+func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct.SetID {
 	n := len(res.MustT)
 	if workers > n {
 		workers = n
@@ -355,6 +400,7 @@ func findTripleConflicts(res *Result, workers int) [][3]oct.SetID {
 	if workers < 1 {
 		workers = 1
 	}
+	done := ctx.Done()
 	// Per-set conflict adjacency for stamped constant-time pair checks.
 	confOf := make([][]oct.SetID, n)
 	for _, c := range res.Conflicts2 {
@@ -372,6 +418,11 @@ func findTripleConflicts(res *Result, workers int) [][3]oct.SetID {
 			related := make([]uint32, n)
 			epoch := uint32(0)
 			for mid := w; mid < n; mid += workers {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				q2 := oct.SetID(mid)
 				partners := res.MustT[mid]
 				// Partners are sorted by rank. A triple needs q2 not to be

@@ -1,0 +1,49 @@
+package conflict
+
+import (
+	"context"
+	"testing"
+
+	"categorytree/internal/obs"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/xrand"
+)
+
+func TestAnalyzeContextCanceled(t *testing.T) {
+	inst := randomInstance(xrand.New(1), 30, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnalyzeContext(ctx, inst, oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.6}, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil on cancellation", res)
+	}
+}
+
+func TestAnalyzeContextScopedMetrics(t *testing.T) {
+	inst := randomInstance(xrand.New(2), 40, 50)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, err := AnalyzeContext(ctx, inst, oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.6}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Timers["conflict.analyze"].Count != 1 {
+		t.Fatalf("timers = %+v", snap.Timers)
+	}
+	if snap.Counters["conflict.analyze/sets"] != 40 {
+		t.Fatalf("sets counter = %d, want 40", snap.Counters["conflict.analyze/sets"])
+	}
+	// Worker skew is max/mean wall time across the parallel sweep, so it is
+	// ≥ 1 whenever any worker did measurable work.
+	skew, ok := snap.Gauges["conflict.analyze/worker_skew"]
+	if !ok {
+		t.Fatalf("worker_skew gauge missing: %+v", snap.Gauges)
+	}
+	if skew < 1 {
+		t.Fatalf("worker_skew = %v, want ≥ 1", skew)
+	}
+}

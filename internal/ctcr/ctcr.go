@@ -20,6 +20,7 @@ package ctcr
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -95,7 +96,16 @@ type Timings struct {
 // returned in Result.Timings and recorded, along with workload counters,
 // under the "ctcr.build" prefix of the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
-	span := obs.StartSpan("ctcr.build")
+	return BuildContext(context.Background(), inst, cfg, opts)
+}
+
+// BuildContext is Build with a context: metrics land in the context's obs
+// registry (per-request when the caller attached one via obs.WithRegistry),
+// trace spans nest under the caller's when a trace recorder travels in ctx,
+// and cancellation aborts the pipeline between and inside stages, returning
+// ctx.Err().
+func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
+	span, ctx := obs.StartSpanContext(ctx, "ctcr.build")
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
@@ -105,28 +115,34 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 
 	// Stage 1 (lines 1-9): rank, find conflicts, build the conflict
 	// (hyper)graph.
-	asp := span.Child("analyze")
-	analysis := conflict.AnalyzeWith(inst, cfg, conflict.Options{No3Conflicts: opts.Disable3Conflicts})
+	asp, actx := span.ChildContext(ctx, "analyze")
+	analysis, err := conflict.AnalyzeContext(actx, inst, cfg, conflict.Options{No3Conflicts: opts.Disable3Conflicts})
 	analyzeDur := asp.End()
+	if err != nil {
+		return nil, fmt.Errorf("ctcr: %w", err)
+	}
 
 	// Stage 2 (line 10): solve MIS.
-	ssp := span.Child("solve")
+	ssp, sctx := span.ChildContext(ctx, "solve")
 	g := conflict.BuildHypergraph(inst, analysis)
 	var misRes mis.Result
 	switch {
 	case opts.GreedyMISOnly:
 		misOpts := opts.MIS
 		misOpts.MaxExactComponent = -1
-		misRes = mis.Solve(g, misOpts)
+		misRes, err = mis.SolveContext(sctx, g, misOpts)
 	case opts.UsePartitionSolver && g.Triangles() > 0:
-		misRes = mis.SolvePartition(g, opts.PartitionParts, opts.MIS)
+		misRes, err = mis.SolvePartitionContext(sctx, g, opts.PartitionParts, opts.MIS)
 	default:
-		misRes = mis.Solve(g, opts.MIS)
+		misRes, err = mis.SolveContext(sctx, g, opts.MIS)
 	}
 	solveDur := ssp.End()
+	if err != nil {
+		return nil, fmt.Errorf("ctcr: %w", err)
+	}
 
 	// Stage 3 (lines 11-26): construct the tree.
-	csp := span.Child("construct")
+	csp, cctx := span.ChildContext(ctx, "construct")
 	res := &Result{
 		MIS:       misRes,
 		Conflicts: analysis,
@@ -147,14 +163,16 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 	// must run (the varying-bounds extension of Section 3.3).
 	skipAssign := cfg.Variant.Base() == sim.BasePR && !hasBounds(cfg)
 	if !skipAssign {
-		assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).Run()
+		if err := assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).RunContext(cctx); err != nil {
+			return nil, fmt.Errorf("ctcr: %w", err)
+		}
 		if !opts.DisableIntermediates {
 			addIntermediateCategories(inst, res.Tree, res.CatOf, res.Selected)
 		}
 	}
 
 	if cfg.Variant != sim.Exact {
-		assign.Condense(inst, cfg, res.Tree)
+		assign.CondenseContext(cctx, inst, cfg, res.Tree)
 		// Condensing may have removed dedicated categories; null their refs.
 		for q, c := range res.CatOf {
 			if c != nil && res.Tree.Node(c.ID) != c {
@@ -173,6 +191,9 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 	span.Counter("sets").Add(int64(inst.N()))
 	span.Counter("selected").Add(int64(len(res.Selected)))
 	span.Counter("categories").Add(int64(res.Tree.Len()))
+	span.Attr("sets", inst.N())
+	span.Attr("selected", len(res.Selected))
+	span.Attr("categories", res.Tree.Len())
 	res.Timings = Timings{
 		Analyze:   analyzeDur,
 		Solve:     solveDur,

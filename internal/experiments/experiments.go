@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -108,16 +109,16 @@ var AlgoNames = []string{"CTCR", "CCT", "IC-Q", "IC-S", "ET"}
 
 // buildAlgo constructs the named algorithm's tree for the bundle's
 // instance.
-func buildAlgo(name string, raw *dataset.Raw, inst *oct.Instance, cfg oct.Config) (*tree.Tree, error) {
+func buildAlgo(ctx context.Context, name string, raw *dataset.Raw, inst *oct.Instance, cfg oct.Config) (*tree.Tree, error) {
 	switch name {
 	case "CTCR":
-		res, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+		res, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
 		return res.Tree, nil
 	case "CCT":
-		res, err := cct.Build(inst, cfg)
+		res, err := cct.BuildContext(ctx, inst, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +159,7 @@ func (o Options) deltas(lo, hi float64) []float64 {
 
 // compareFigure runs the five algorithms over one dataset and variant
 // across a δ sweep — the shared engine of Figures 8a, 8b, 8c, and 8e.
-func compareFigure(id, title string, spec dataset.Spec, v sim.Variant, lo, hi float64, opts Options) (*Result, error) {
+func compareFigure(ctx context.Context, id, title string, spec dataset.Spec, v sim.Variant, lo, hi float64, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(spec.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -181,7 +182,7 @@ func compareFigure(id, title string, spec dataset.Spec, v sim.Variant, lo, hi fl
 		}
 		cfg := oct.Config{Variant: v, Delta: d}
 		for i, name := range AlgoNames {
-			t, err := buildAlgo(name, raw, inst, cfg)
+			t, err := buildAlgo(ctx, name, raw, inst, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s at δ=%.2f: %w", name, d, err)
 			}
@@ -233,18 +234,18 @@ func shapeCheck(series []Series) []string {
 }
 
 // Fig8a: threshold Jaccard scores over dataset C, five algorithms.
-func Fig8a(opts Options) (*Result, error) {
-	return compareFigure("fig8a", "threshold Jaccard over C, all algorithms", dataset.C, sim.ThresholdJaccard, 0.5, 0.95, opts)
+func Fig8a(ctx context.Context, opts Options) (*Result, error) {
+	return compareFigure(ctx, "fig8a", "threshold Jaccard over C, all algorithms", dataset.C, sim.ThresholdJaccard, 0.5, 0.95, opts)
 }
 
 // Fig8b: Perfect-Recall scores over dataset C.
-func Fig8b(opts Options) (*Result, error) {
-	return compareFigure("fig8b", "Perfect-Recall over C, all algorithms", dataset.C, sim.PerfectRecall, 0.1, 0.95, opts)
+func Fig8b(ctx context.Context, opts Options) (*Result, error) {
+	return compareFigure(ctx, "fig8b", "Perfect-Recall over C, all algorithms", dataset.C, sim.PerfectRecall, 0.1, 0.95, opts)
 }
 
 // Fig8c: Exact-variant scores over dataset C (CTCR solves optimally).
-func Fig8c(opts Options) (*Result, error) {
-	res, err := compareFigure("fig8c", "Exact variant over C, all algorithms", dataset.C, sim.Exact, 1, 1, opts)
+func Fig8c(ctx context.Context, opts Options) (*Result, error) {
+	res, err := compareFigure(ctx, "fig8c", "Exact variant over C, all algorithms", dataset.C, sim.Exact, 1, 1, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +256,7 @@ func Fig8c(opts Options) (*Result, error) {
 	}
 	inst, _ := raw.Instance(sim.Exact, 1)
 	cfg := oct.Config{Variant: sim.Exact}
-	cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+	cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -268,26 +269,26 @@ func Fig8c(opts Options) (*Result, error) {
 }
 
 // Fig8d: CTCR robustness to δ in [0.6, 0.9], threshold Jaccard over C.
-func Fig8d(opts Options) (*Result, error) {
-	return ctcrSweep("fig8d", "CTCR δ-robustness, threshold Jaccard over C", dataset.C, sim.ThresholdJaccard, 0.6, 0.9, opts)
+func Fig8d(ctx context.Context, opts Options) (*Result, error) {
+	return ctcrSweep(ctx, "fig8d", "CTCR δ-robustness, threshold Jaccard over C", dataset.C, sim.ThresholdJaccard, 0.6, 0.9, opts)
 }
 
 // Fig8e: Perfect-Recall over dataset E, all algorithms.
-func Fig8e(opts Options) (*Result, error) {
-	return compareFigure("fig8e", "Perfect-Recall over E, all algorithms", dataset.E, sim.PerfectRecall, 0.1, 0.95, opts)
+func Fig8e(ctx context.Context, opts Options) (*Result, error) {
+	return compareFigure(ctx, "fig8e", "Perfect-Recall over E, all algorithms", dataset.E, sim.PerfectRecall, 0.1, 0.95, opts)
 }
 
 // Fig8g: CTCR score across thresholds, threshold Jaccard over C.
-func Fig8g(opts Options) (*Result, error) {
-	return ctcrSweep("fig8g", "CTCR score vs δ, threshold Jaccard over C", dataset.C, sim.ThresholdJaccard, 0.5, 1, opts)
+func Fig8g(ctx context.Context, opts Options) (*Result, error) {
+	return ctcrSweep(ctx, "fig8g", "CTCR score vs δ, threshold Jaccard over C", dataset.C, sim.ThresholdJaccard, 0.5, 1, opts)
 }
 
 // Fig8h: CTCR score across thresholds, Perfect-Recall over E.
-func Fig8h(opts Options) (*Result, error) {
-	return ctcrSweep("fig8h", "CTCR score vs δ, Perfect-Recall over E", dataset.E, sim.PerfectRecall, 0.1, 1, opts)
+func Fig8h(ctx context.Context, opts Options) (*Result, error) {
+	return ctcrSweep(ctx, "fig8h", "CTCR score vs δ, Perfect-Recall over E", dataset.E, sim.PerfectRecall, 0.1, 1, opts)
 }
 
-func ctcrSweep(id, title string, spec dataset.Spec, v sim.Variant, lo, hi float64, opts Options) (*Result, error) {
+func ctcrSweep(ctx context.Context, id, title string, spec dataset.Spec, v sim.Variant, lo, hi float64, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(spec.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -299,7 +300,7 @@ func ctcrSweep(id, title string, spec dataset.Spec, v sim.Variant, lo, hi float6
 			continue
 		}
 		cfg := oct.Config{Variant: v, Delta: d}
-		res, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+		res, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +323,7 @@ func ctcrSweep(id, title string, spec dataset.Spec, v sim.Variant, lo, hi float6
 }
 
 // Fig8f: CTCR scalability across datasets A-D (wall-clock per stage).
-func Fig8f(opts Options) (*Result, error) {
+func Fig8f(ctx context.Context, opts Options) (*Result, error) {
 	res := &Result{
 		ID:     "fig8f",
 		Title:  "CTCR running time across datasets A-D",
@@ -336,7 +337,7 @@ func Fig8f(opts Options) (*Result, error) {
 		inst, _ := raw.Instance(sim.ThresholdJaccard, 0.8)
 		cfg := oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.8}
 		start := time.Now()
-		cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+		cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -358,7 +359,7 @@ func Fig8f(opts Options) (*Result, error) {
 // TrainTest: the robustness experiment of Figure 8e's companion — build on
 // a random half of D's queries, score on the held-out half, averaged over
 // repeats.
-func TrainTest(opts Options) (*Result, error) {
+func TrainTest(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.D.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -383,7 +384,7 @@ func TrainTest(opts Options) (*Result, error) {
 	for rep := 0; rep < repeats; rep++ {
 		train, test := preprocess.SplitTrainTest(inst, rng.Split(int64(rep)))
 		for _, name := range AlgoNames {
-			t, err := buildAlgo(name, raw, train, cfg)
+			t, err := buildAlgo(ctx, name, raw, train, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("train/test %s: %w", name, err)
 			}
@@ -415,7 +416,7 @@ func TrainTest(opts Options) (*Result, error) {
 // Table1: the conservative-update contribution table — query result sets vs
 // existing categories at controlled weight ratios, threshold Jaccard δ=0.8
 // over D.
-func Table1(opts Options) (*Result, error) {
+func Table1(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.D.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -445,7 +446,7 @@ func Table1(opts Options) (*Result, error) {
 		}
 		perCat := ratio[1] / float64(len(cats))
 		preprocess.AddExistingCategories(inst, cats, perCat, 0)
-		cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+		cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -463,7 +464,7 @@ func Table1(opts Options) (*Result, error) {
 // Cohesion: the user-study tf-idf cohesiveness comparison between the
 // CTCR-based tree and the existing tree (paper: 0.52 vs 0.49 uniform, 0.45
 // both when size-weighted).
-func Cohesion(opts Options) (*Result, error) {
+func Cohesion(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.D.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -471,7 +472,7 @@ func Cohesion(opts Options) (*Result, error) {
 	const delta = 0.8
 	cfg := oct.Config{Variant: sim.ThresholdJaccard, Delta: delta}
 	inst, _ := raw.Instance(sim.ThresholdJaccard, delta)
-	cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+	cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +498,7 @@ func Cohesion(opts Options) (*Result, error) {
 
 // MergeAblation: the Section 5.1 merging optimization — query count shrinks
 // while the score is preserved or slightly improved.
-func MergeAblation(opts Options) (*Result, error) {
+func MergeAblation(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.D.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -512,7 +513,7 @@ func MergeAblation(opts Options) (*Result, error) {
 	unmerged, _ := preprocess.Run(raw.Catalog, raw.Existing, raw.Log, pOpts)
 
 	buildAndScore := func(inst *oct.Instance) (float64, error) {
-		cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+		cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 		if err != nil {
 			return 0, err
 		}
@@ -550,7 +551,7 @@ func MergeAblation(opts Options) (*Result, error) {
 // intermediate categories, and the aggregate-precision admission guard.
 // Each row disables one mechanism and reports the normalized score on the
 // configuration where that mechanism matters most.
-func Ablation(opts Options) (*Result, error) {
+func Ablation(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.C.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -581,7 +582,7 @@ func Ablation(opts Options) (*Result, error) {
 		cfg := oct.Config{Variant: c.variant, Delta: c.delta}
 		bOpts := ctcr.DefaultOptions()
 		c.mut(&bOpts)
-		cres, err := ctcr.Build(inst, cfg, bOpts)
+		cres, err := ctcr.BuildContext(ctx, inst, cfg, bOpts)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %q: %w", c.name, err)
 		}
@@ -601,7 +602,7 @@ func Ablation(opts Options) (*Result, error) {
 // category containing their whole target set and filter from there. The
 // CTCR tree built under Perfect-Recall should leave less residual filtering
 // than the existing tree.
-func Facet(opts Options) (*Result, error) {
+func Facet(ctx context.Context, opts Options) (*Result, error) {
 	raw, err := dataset.GenerateRaw(dataset.C.Scale(opts.Scale))
 	if err != nil {
 		return nil, err
@@ -609,7 +610,7 @@ func Facet(opts Options) (*Result, error) {
 	const delta = 0.6 // the taxonomists' preferred faceted-subtree setting (§5.4)
 	inst, _ := raw.Instance(sim.PerfectRecall, delta)
 	cfg := oct.Config{Variant: sim.PerfectRecall, Delta: delta}
-	cres, err := ctcr.Build(inst, cfg, ctcr.DefaultOptions())
+	cres, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -632,8 +633,10 @@ func Facet(opts Options) (*Result, error) {
 	return res, nil
 }
 
-// Registry maps experiment IDs to drivers.
-var Registry = map[string]func(Options) (*Result, error){
+// Registry maps experiment IDs to drivers. Drivers take a context so
+// callers can scope metrics (obs.WithRegistry), capture traces
+// (trace.WithRecorder), or cancel long sweeps.
+var Registry = map[string]func(context.Context, Options) (*Result, error){
 	"ablation":  Ablation,
 	"facet":     Facet,
 	"fig8a":     Fig8a,
@@ -662,9 +665,16 @@ func IDs() []string {
 
 // Run dispatches an experiment by ID.
 func Run(id string, opts Options) (*Result, error) {
+	return RunContext(context.Background(), id, opts)
+}
+
+// RunContext dispatches an experiment by ID under ctx: pipeline metrics land
+// in the context's obs registry, trace spans in its recorder (when one is
+// attached), and cancellation aborts mid-sweep.
+func RunContext(ctx context.Context, id string, opts Options) (*Result, error) {
 	f, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return f(opts)
+	return f(ctx, opts)
 }

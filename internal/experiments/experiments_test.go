@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig8aShapeHolds(t *testing.T) {
-	res, err := Fig8a(tinyOpts())
+	res, err := Fig8a(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestFig8aShapeHolds(t *testing.T) {
 }
 
 func TestFig8cExactOptimal(t *testing.T) {
-	res, err := Fig8c(tinyOpts())
+	res, err := Fig8c(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFig8cExactOptimal(t *testing.T) {
 }
 
 func TestFig8gMonotone(t *testing.T) {
-	res, err := Fig8g(tinyOpts())
+	res, err := Fig8g(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFig8gMonotone(t *testing.T) {
 }
 
 func TestFig8fScalabilityRows(t *testing.T) {
-	res, err := Fig8f(tinyOpts())
+	res, err := Fig8f(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig8fScalabilityRows(t *testing.T) {
 }
 
 func TestTable1TracksRatios(t *testing.T) {
-	res, err := Table1(tinyOpts())
+	res, err := Table1(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func parsePercent(t *testing.T, s string) float64 {
 }
 
 func TestTrainTestRuns(t *testing.T) {
-	res, err := TrainTest(tinyOpts())
+	res, err := TrainTest(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestTrainTestRuns(t *testing.T) {
 }
 
 func TestCohesionRuns(t *testing.T) {
-	res, err := Cohesion(tinyOpts())
+	res, err := Cohesion(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestCohesionRuns(t *testing.T) {
 }
 
 func TestMergeAblationRuns(t *testing.T) {
-	res, err := MergeAblation(tinyOpts())
+	res, err := MergeAblation(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestMergeAblationRuns(t *testing.T) {
 }
 
 func TestAblationMechanismsMatter(t *testing.T) {
-	res, err := Ablation(Options{Scale: 0.03})
+	res, err := Ablation(context.Background(), Options{Scale: 0.03})
 	if err != nil {
 		t.Fatal(err)
 	}

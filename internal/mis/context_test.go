@@ -1,0 +1,30 @@
+package mis
+
+import (
+	"context"
+	"testing"
+
+	"categorytree/internal/xrand"
+)
+
+func TestSolveContextCanceled(t *testing.T) {
+	g := randomHypergraph(xrand.New(1), 40, 0.2, 0.5, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, g, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Set) != 0 {
+		t.Fatalf("res = %+v, want zero result on cancellation", res)
+	}
+}
+
+func TestSolvePartitionContextCanceled(t *testing.T) {
+	g := randomHypergraph(xrand.New(2), 40, 0.2, 0.5, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolvePartitionContext(ctx, g, 4, Options{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -45,6 +45,9 @@ type exactSolver struct {
 	// aborted is set when the node budget runs out; the result is then the
 	// best solution found, without an optimality certificate.
 	aborted bool
+	// done, when non-nil, is polled every cancelCheckStride nodes; a closed
+	// channel aborts the search like an exhausted budget.
+	done <-chan struct{}
 
 	// scratch reused by the bound computation
 	cliqueOf []int32
@@ -66,18 +69,24 @@ const (
 	folded
 )
 
+// cancelCheckStride bounds how often the search polls its done channel: a
+// channel receive per node would dominate the cheap trail operations, so the
+// poll runs once per stride of expansions.
+const cancelCheckStride = 1024
+
 // solveExact finds a maximum weight independent set of g, exploring at most
 // budget search nodes. It returns the best set found and whether it is
 // provably optimal. A warm-start incumbent may be supplied to tighten
 // pruning from the first node.
 func solveExact(g *Hypergraph, budget int64, incumbent []int) ([]int, bool) {
-	set, optimal, _ := solveExactN(g, budget, incumbent)
+	set, optimal, _ := solveExactN(g, budget, incumbent, nil)
 	return set, optimal
 }
 
 // solveExactN is solveExact, additionally reporting the number of search
-// nodes expanded (the cost driver the observability layer tracks).
-func solveExactN(g *Hypergraph, budget int64, incumbent []int) ([]int, bool, int64) {
+// nodes expanded (the cost driver the observability layer tracks) and
+// honoring an optional cancellation channel.
+func solveExactN(g *Hypergraph, budget int64, incumbent []int, done <-chan struct{}) ([]int, bool, int64) {
 	s := &exactSolver{
 		g:        g,
 		weights:  append([]float64(nil), g.weights...),
@@ -85,6 +94,7 @@ func solveExactN(g *Hypergraph, budget int64, incumbent []int) ([]int, bool, int
 		triInc:   make([]int8, len(g.tris)),
 		triDed:   make([]bool, len(g.tris)),
 		budget:   budget,
+		done:     done,
 		cliqueOf: make([]int32, g.n),
 	}
 	if incumbent != nil && g.IsIndependent(incumbent) {
@@ -104,6 +114,14 @@ func (s *exactSolver) search() {
 	if s.nodes > s.budget {
 		s.aborted = true
 		return
+	}
+	if s.done != nil && s.nodes%cancelCheckStride == 0 {
+		select {
+		case <-s.done:
+			s.aborted = true
+			return
+		default:
+		}
 	}
 	mark := len(s.trail)
 

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"sort"
 
 	"categorytree/internal/obs"
@@ -22,8 +23,18 @@ import (
 // guarantee: the best part holds at least 1/k of the optimum's weight
 // because the optimum's restriction to some part is itself independent.
 func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
-	sp := obs.StartSpan("mis.solve.partition")
+	res, _ := SolvePartitionContext(context.Background(), g, parts, opts)
+	return res
+}
+
+// SolvePartitionContext is SolvePartition with a context: metrics land in
+// the context's obs registry, trace spans nest under the caller's, and
+// cancellation aborts between part solves (and inside each part's
+// branch-and-bound), returning ctx.Err() with a zero Result.
+func SolvePartitionContext(ctx context.Context, g *Hypergraph, parts int, opts Options) (Result, error) {
+	sp, ctx := obs.StartSpanContext(ctx, "mis.solve.partition")
 	defer sp.End()
+	done := ctx.Done()
 	if parts < 1 {
 		parts = 1
 	}
@@ -84,12 +95,15 @@ func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
 		if len(grp) == 0 {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		sub, orig := g.Induced(grp)
 		var sol []int
 		if sub.N() <= opts.MaxExactComponent {
 			warm := solveGreedy(sub)
 			var nodes int64
-			sol, _, nodes = solveExactN(sub, opts.NodeBudget, warm)
+			sol, _, nodes = solveExactN(sub, opts.NodeBudget, warm, done)
 			totalNodes += nodes
 		} else {
 			sol = localSearch(sub, solveGreedy(sub), opts.LocalSearchRounds)
@@ -107,17 +121,24 @@ func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
 	// Extend to global maximality and polish.
 	best = localSearch(g, best, opts.LocalSearchRounds)
 	sort.Ints(best)
 	sp.Counter("vertices").Add(int64(g.n))
 	sp.Counter("parts").Add(int64(parts))
 	sp.Counter("nodes.expanded").Add(totalNodes)
+	sp.Attr("vertices", g.n)
+	sp.Attr("parts", parts)
+	sp.Attr("nodes.expanded", totalNodes)
 	return Result{
 		Set:        best,
 		Weight:     g.SetWeight(best),
 		Optimal:    false,
 		Components: parts,
 		Nodes:      totalNodes,
-	}
+	}, nil
 }

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"sort"
 
 	"categorytree/internal/obs"
@@ -57,8 +58,18 @@ type Result struct {
 // component exactly by branch and bound (warm-started by greedy), and fall
 // back to greedy + local search on oversized components.
 func Solve(g *Hypergraph, opts Options) Result {
-	sp := obs.StartSpan("mis.solve")
+	res, _ := SolveContext(context.Background(), g, opts)
+	return res
+}
+
+// SolveContext is Solve with a context: metrics land in the context's obs
+// registry, trace spans nest under the caller's, and cancellation aborts the
+// branch-and-bound search between component solves and every
+// cancelCheckStride expanded nodes, returning ctx.Err() with a zero Result.
+func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, error) {
+	sp, ctx := obs.StartSpanContext(ctx, "mis.solve")
 	defer sp.End()
+	done := ctx.Done()
 	if opts.NodeBudget <= 0 {
 		opts.NodeBudget = DefaultOptions().NodeBudget
 	}
@@ -80,12 +91,15 @@ func Solve(g *Hypergraph, opts Options) Result {
 	if len(undecided) > 0 {
 		sub, orig := g.Induced(undecided)
 		for _, comp := range sub.Components() {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			res.Components++
 			cg, corig := sub.Induced(comp)
 			var sol []int
 			if !heuristicOnly && cg.N() <= opts.MaxExactComponent {
 				warm := localSearch(cg, solveGreedy(cg), opts.LocalSearchRounds)
-				exact, optimal, nodes := solveExactN(cg, opts.NodeBudget, warm)
+				exact, optimal, nodes := solveExactN(cg, opts.NodeBudget, warm, done)
 				sol = exact
 				res.Nodes += nodes
 				if !optimal {
@@ -100,6 +114,9 @@ func Solve(g *Hypergraph, opts Options) Result {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	sort.Ints(res.Set)
 	res.Weight = g.SetWeight(res.Set)
@@ -107,7 +124,11 @@ func Solve(g *Hypergraph, opts Options) Result {
 	sp.Counter("components").Add(int64(res.Components))
 	sp.Counter("kernel.fixed").Add(int64(res.Fixed))
 	sp.Counter("nodes.expanded").Add(res.Nodes)
-	return res
+	sp.Attr("vertices", g.n)
+	sp.Attr("components", res.Components)
+	sp.Attr("nodes.expanded", res.Nodes)
+	sp.Attr("optimal", res.Optimal)
+	return res, nil
 }
 
 // kernelize applies weighted reductions that are safe on vertices untouched

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+
+	"categorytree/internal/obs/trace"
+)
+
+type registryKey struct{}
+
+// WithRegistry returns a context carrying reg. Pipeline entry points called
+// with this context record their metrics into reg instead of the
+// process-wide Default registry, which is what isolates concurrent builds
+// (e.g. per-request builds in octserve) from one another.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, reg)
+}
+
+// FromContext returns the context's registry, falling back to Default when
+// none (or nil) is attached — so context-threaded code always has a valid
+// destination.
+func FromContext(ctx context.Context) *Registry {
+	if reg, ok := ctx.Value(registryKey{}).(*Registry); ok && reg != nil {
+		return reg
+	}
+	return std
+}
+
+// StartSpanContext begins a span whose metrics land in the context's
+// registry and, when a trace recorder travels in ctx, opens a nested trace
+// span as well. The returned context carries the trace span, so deeper
+// callees that StartSpanContext themselves nest under it; pass it down.
+func StartSpanContext(ctx context.Context, name string) (Span, context.Context) {
+	sp := FromContext(ctx).StartSpan(name)
+	sp.tr, ctx = trace.StartSpan(ctx, name)
+	return sp, ctx
+}
+
+// ChildContext is Span.Child plus context propagation: the returned context
+// carries the child's trace span, so callees that StartSpanContext nest
+// under this stage rather than its parent.
+func (s Span) ChildContext(ctx context.Context, name string) (Span, context.Context) {
+	child := s.Child(name)
+	return child, trace.ContextWithSpan(ctx, child.tr)
+}

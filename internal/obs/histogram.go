@@ -107,6 +107,32 @@ func (h *Histogram) stat() HistStat {
 	return s
 }
 
+// Quantile returns an upper bound on the q-quantile of the snapshotted
+// distribution, mirroring Histogram.Quantile on live histograms — the hook
+// for deriving timeouts from observed latency snapshots. It returns 0 for
+// an empty histogram.
+func (h HistStat) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	need := int64(q * float64(h.Count))
+	if need < 1 {
+		need = 1
+	}
+	maxBound := bucketBounds[len(bucketBounds)-1]
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= need {
+			if b.LE < 0 {
+				return maxBound
+			}
+			return time.Duration(b.LE)
+		}
+	}
+	return maxBound
+}
+
 // delta subtracts a previous snapshot of the same histogram.
 func (h HistStat) delta(prev HistStat) HistStat {
 	prevBy := make(map[int64]int64, len(prev.Buckets))

@@ -308,3 +308,27 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func (r *Registry) Expvar() expvar.Func {
 	return expvar.Func(func() interface{} { return r.Snapshot() })
 }
+
+// expvarPublished tracks names already handed to expvar.Publish, which
+// panics on duplicates. Process-wide (not per registry): expvar's namespace
+// is process-wide too.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = make(map[string]bool)
+)
+
+// PublishOnce publishes the registry's Expvar under name exactly once per
+// process: repeated calls — tests constructing several servers, or a server
+// restarting its wiring — are no-ops instead of duplicate-name panics. It
+// reports whether this call performed the publication (false means an
+// earlier caller, possibly with a different registry, owns the name).
+func (r *Registry) PublishOnce(name string) bool {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return false
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, r.Expvar())
+	return true
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Hierarchical metric names are flattened to the
+// Prometheus charset (every non-[a-zA-Z0-9_] byte becomes '_') under the
+// given prefix:
+//
+//	counters        <p>_<name>                       counter
+//	gauges          <p>_<name>                       gauge
+//	timers          <p>_<name>_seconds_{sum,count}   summary
+//	                <p>_<name>_max_seconds           gauge
+//	histograms      <p>_<name>_seconds               histogram, with the
+//	                cumulative _bucket/_sum/_count series over the fixed
+//	                exponential bounds (overflow observations count only
+//	                toward the +Inf bucket)
+//
+// Output is deterministic: each section is emitted in sorted name order.
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	ew := &errWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(prefix, name, "")
+		fmt.Fprintf(ew, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(prefix, name, "")
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		n := promName(prefix, name, "_seconds")
+		fmt.Fprintf(ew, "# TYPE %s summary\n", n)
+		fmt.Fprintf(ew, "%s_sum %s\n", n, formatSeconds(t.TotalNS))
+		fmt.Fprintf(ew, "%s_count %d\n", n, t.Count)
+		m := promName(prefix, name, "_max_seconds")
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", m, m, formatSeconds(t.MaxNS))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(prefix, name, "_seconds")
+		byLE := make(map[int64]int64, len(h.Buckets))
+		for _, b := range h.Buckets {
+			byLE[b.LE] = b.Count
+		}
+		fmt.Fprintf(ew, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for _, bound := range bucketBounds {
+			cum += byLE[bound.Nanoseconds()]
+			fmt.Fprintf(ew, "%s_bucket{le=%q} %d\n", n, formatSeconds(bound.Nanoseconds()), cum)
+		}
+		// Overflow observations (LE = -1 in the snapshot) appear only here.
+		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(ew, "%s_sum %s\n", n, formatSeconds(h.SumNS))
+		fmt.Fprintf(ew, "%s_count %d\n", n, h.Count)
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName flattens a hierarchical metric name ("ctcr.build/analyze") into
+// the Prometheus charset ("<prefix>_ctcr_build_analyze<suffix>").
+func promName(prefix, name, suffix string) string {
+	b := make([]byte, 0, len(prefix)+len(name)+len(suffix)+1)
+	b = append(b, prefix...)
+	b = append(b, '_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(append(b, suffix...))
+}
+
+func formatSeconds(ns int64) string {
+	return formatFloat(float64(ns) / float64(time.Second))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

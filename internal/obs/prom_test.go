@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ctcr.build/sets").Add(42)
+	r.Gauge("conflict.analyze/workers").Set(8)
+	r.Timer("ctcr.build").Observe(250 * time.Millisecond)
+	r.Timer("ctcr.build").Observe(750 * time.Millisecond)
+	r.Histogram("http.tree/latency").Observe(60 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE oct_ctcr_build_sets counter",
+		"oct_ctcr_build_sets 42",
+		"# TYPE oct_conflict_analyze_workers gauge",
+		"oct_conflict_analyze_workers 8",
+		"# TYPE oct_ctcr_build_seconds summary",
+		"oct_ctcr_build_seconds_sum 1",
+		"oct_ctcr_build_seconds_count 2",
+		"oct_ctcr_build_max_seconds 0.75",
+		"# TYPE oct_http_tree_latency_seconds histogram",
+		`oct_http_tree_latency_seconds_bucket{le="+Inf"} 1`,
+		"oct_http_tree_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	checkExpositionWellFormed(t, out)
+}
+
+// checkExpositionWellFormed is a minimal text-format parser: every
+// non-comment line must be `name{labels}? value` with a float value, and
+// every series must be preceded by a matching # TYPE comment.
+func checkExpositionWellFormed(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if !typed[name] && !typed[base] {
+			t.Fatalf("series %q has no TYPE declaration", name)
+		}
+	}
+}
+
+func TestPrometheusHistogramCumulativeAndMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(30 * time.Microsecond)  // first bucket (≤50µs)
+	h.Observe(60 * time.Microsecond)  // second bucket (≤100µs)
+	h.Observe(70 * time.Microsecond)  // second bucket
+	h.Observe(300 * time.Microsecond) // fourth bucket (≤400µs)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	bounds, counts := parseBuckets(t, buf.String(), "oct_lat_seconds_bucket")
+	if len(bounds) != len(bucketBounds)+1 {
+		t.Fatalf("got %d buckets, want %d (+Inf included)", len(bounds), len(bucketBounds)+1)
+	}
+	prev := int64(-1)
+	for i, c := range counts {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %v", i, counts)
+		}
+		prev = c
+	}
+	// Spot-check cumulativity: ≤50µs holds 1, ≤100µs holds 3, ≤400µs (and
+	// everything above, including +Inf) holds 4.
+	if counts[0] != 1 || counts[1] != 3 || counts[3] != 4 || counts[len(counts)-1] != 4 {
+		t.Fatalf("cumulative counts wrong: %v", counts)
+	}
+}
+
+func TestPrometheusHistogramSingleOverflowObservation(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(time.Hour) // beyond every finite bound
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	_, counts := parseBuckets(t, buf.String(), "oct_lat_seconds_bucket")
+	for i, c := range counts[:len(counts)-1] {
+		if c != 0 {
+			t.Fatalf("finite bucket %d holds overflow observation: %v", i, counts)
+		}
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", counts[len(counts)-1])
+	}
+	if !strings.Contains(buf.String(), "oct_lat_seconds_count 1") {
+		t.Fatalf("count wrong:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusEmptyHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat") // registered, never observed
+
+	stat := h.stat()
+	if stat.Count != 0 || len(stat.Buckets) != 0 {
+		t.Fatalf("empty histogram stat = %+v", stat)
+	}
+	if q := stat.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// An empty histogram still emits a complete, all-zero cumulative series.
+	if !strings.Contains(out, `oct_lat_seconds_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(out, "oct_lat_seconds_count 0") {
+		t.Fatalf("empty histogram series malformed:\n%s", out)
+	}
+	checkExpositionWellFormed(t, out)
+}
+
+func TestHistStatQuantileOverflow(t *testing.T) {
+	h := newHistogram()
+	h.Observe(time.Minute)
+	if q := h.stat().Quantile(0.5); q != bucketBounds[len(bucketBounds)-1] {
+		t.Fatalf("overflow quantile = %v, want max bound %v", q, bucketBounds[len(bucketBounds)-1])
+	}
+}
+
+// parseBuckets extracts (le, count) pairs for one histogram series, in
+// emission order.
+func parseBuckets(t *testing.T, out, series string) (les []string, counts []int64) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, series+"{le=") {
+			continue
+		}
+		var le string
+		var c int64
+		if _, err := fmt.Sscanf(line, series+`{le=%q} %d`, &le, &c); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		les = append(les, le)
+		counts = append(counts, c)
+	}
+	return les, counts
+}

@@ -1,12 +1,22 @@
 package obs
 
-import "time"
+import (
+	"time"
+
+	"categorytree/internal/obs/trace"
+)
 
 // Span is an in-flight timed stage. Spans nest by name: a child of
 // "ctcr.build" named "analyze" records under "ctcr.build/analyze", and its
 // counters under "ctcr.build/analyze/<suffix>". Span is a small value type —
 // starting one allocates nothing beyond the registry's (one-time) metric —
 // so it is safe to use around every pipeline stage.
+//
+// A span started with StartSpanContext additionally carries a trace span
+// when the context has a recorder attached (internal/obs/trace): Child then
+// nests trace spans alongside the metric names, Attr records key/value
+// attributes into the trace, and End completes both. Without a recorder the
+// trace half costs nothing (nil no-ops).
 //
 // The zero Span is inert: Child returns another inert span and End records
 // nothing, which lets instrumented code accept an optional span without nil
@@ -15,6 +25,7 @@ type Span struct {
 	reg   *Registry
 	name  string
 	start time.Time
+	tr    *trace.Span
 }
 
 // StartSpan begins a stage on the registry.
@@ -33,7 +44,9 @@ func (s Span) Child(name string) Span {
 	if s.reg == nil {
 		return Span{}
 	}
-	return s.reg.StartSpan(s.name + "/" + name)
+	child := s.reg.StartSpan(s.name + "/" + name)
+	child.tr = s.tr.StartChild(s.name + "/" + name)
+	return child
 }
 
 // Counter returns the counter <span name>/<suffix>.
@@ -52,13 +65,27 @@ func (s Span) Gauge(suffix string) *Gauge {
 	return s.reg.Gauge(s.name + "/" + suffix)
 }
 
+// Timer returns the timer <span name>/<suffix>.
+func (s Span) Timer(suffix string) *Timer {
+	if s.reg == nil {
+		return &Timer{}
+	}
+	return s.reg.Timer(s.name + "/" + suffix)
+}
+
+// Attr attaches a key/value attribute to the span's trace event. Metrics
+// are unaffected; without a trace recorder this is a no-op.
+func (s Span) Attr(key string, v interface{}) { s.tr.SetAttr(key, v) }
+
 // End stops the span, records its duration into the timer bearing the
-// span's name, and returns the duration.
+// span's name (and completes the trace span, if any), and returns the
+// duration.
 func (s Span) End() time.Duration {
 	if s.reg == nil {
 		return 0
 	}
 	d := time.Since(s.start)
 	s.reg.Timer(s.name).Observe(d)
+	s.tr.End()
 	return d
 }

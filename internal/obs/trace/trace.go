@@ -1,0 +1,195 @@
+// Package trace is a hierarchical span recorder for request-scoped pipeline
+// tracing. Spans nest parent→child, carry key/value attributes (input-set
+// counts, conflicts found, branch-and-bound nodes, …), and export as Chrome
+// trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// A Recorder travels in a context.Context (WithRecorder / StartSpan); code
+// instrumented with StartSpan keeps working unchanged when no recorder is
+// attached, because every method is a no-op on a nil *Recorder or *Span.
+// This is what lets the pipeline packages trace unconditionally while only
+// paying the cost on requests that asked for a trace.
+//
+// Each root span gets its own trace "thread" (tid), so concurrent builds
+// recorded into one Recorder render as parallel tracks. Children inherit
+// their parent's tid; the viewer nests them by timestamp containment, which
+// holds because spans follow stack discipline (a child ends before its
+// parent does).
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span in Chrome trace_event form ("X" = complete
+// event; ts and dur are microseconds relative to the recorder's start).
+type Event struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur"`
+	PID   int                    `json:"pid"`
+	TID   int64                  `json:"tid"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// Recorder accumulates completed spans. Safe for concurrent use.
+type Recorder struct {
+	start   time.Time
+	mu      sync.Mutex
+	events  []Event
+	nextTID int64
+}
+
+// New returns an empty recorder whose time origin is now.
+func New() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Span is one in-flight stage. A span belongs to a single goroutine; start
+// children for concurrent work. The nil span is inert.
+type Span struct {
+	rec   *Recorder
+	name  string
+	tid   int64
+	start time.Time
+	args  map[string]interface{}
+}
+
+// StartSpan begins a root span on its own trace thread.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextTID++
+	tid := r.nextTID
+	r.mu.Unlock()
+	return &Span{rec: r, name: name, tid: tid, start: time.Now()}
+}
+
+// StartChild begins a nested span on the parent's trace thread.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{rec: s.rec, name: name, tid: s.tid, start: time.Now()}
+}
+
+// SetAttr attaches a key/value attribute, rendered under "args" in the
+// trace viewer. Later writes to the same key win.
+func (s *Span) SetAttr(key string, v interface{}) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]interface{})
+	}
+	s.args[key] = v
+}
+
+// End completes the span and appends its event to the recorder.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	ev := Event{
+		Name:  s.name,
+		Cat:   "pipeline",
+		Phase: "X",
+		TS:    float64(s.start.Sub(s.rec.start).Nanoseconds()) / 1e3,
+		Dur:   float64(now.Sub(s.start).Nanoseconds()) / 1e3,
+		PID:   1,
+		TID:   s.tid,
+		Args:  s.args,
+	}
+	s.rec.mu.Lock()
+	s.rec.events = append(s.rec.events, ev)
+	s.rec.mu.Unlock()
+}
+
+// Events returns a copy of the completed events, ordered by start time
+// (ties broken longest-first, so parents precede their children).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// traceFile is the Chrome trace-event container format.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace as a Chrome trace-event JSON object, directly
+// loadable in chrome://tracing and Perfetto.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	events := r.Events()
+	// A metadata record names the process track in the viewer.
+	meta := Event{Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]interface{}{"name": "categorytree"}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		TraceEvents:     append([]Event{meta}, events...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+type recorderKey struct{}
+type spanKey struct{}
+
+// WithRecorder attaches a recorder to the context; pipeline spans started
+// through StartSpan on descendants of this context record into it.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil when none is attached.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
+
+// ContextWithSpan returns a context carrying sp as the current span, so
+// later StartSpan calls nest under it. A nil sp returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// StartSpan begins a span nested under the context's current span (or a new
+// root span on the context's recorder) and returns a context carrying the
+// new span as current. Without a recorder it returns (nil, ctx) — the nil
+// span is safe to use.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp := parent.StartChild(name)
+		return sp, context.WithValue(ctx, spanKey{}, sp)
+	}
+	rec := FromContext(ctx)
+	if rec == nil {
+		return nil, ctx
+	}
+	sp := rec.StartSpan(name)
+	return sp, context.WithValue(ctx, spanKey{}, sp)
+}
