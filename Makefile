@@ -1,0 +1,35 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint fmt fuzz bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full local static-analysis gate, mirroring the CI lint job (minus the
+# tools that need a network to install: staticcheck, govulncheck).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/octlint ./...
+
+fmt:
+	gofmt -w .
+
+# Fuzz the Section-2 tree invariants; FUZZTIME=5m make fuzz for a deep run.
+fuzz:
+	for target in FuzzIntset FuzzCTCRBuild FuzzCCTBuild; do \
+		$(GO) test ./internal/invariant/ -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...

@@ -286,6 +286,7 @@ func isAncestorOrSelf(anc, n *tree.Node) bool {
 // marginal-gain sweep for leftovers. Iteration counters and the stage wall
 // time land under "assign.run" in the default obs registry.
 func (a *Assigner) Run() {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	_ = a.RunContext(context.Background())
 }
 

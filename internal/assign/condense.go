@@ -20,6 +20,7 @@ import (
 // Coverage is evaluated against the whole tree, so sets covered
 // incidentally by another set's category are preserved.
 func Condense(inst *oct.Instance, cfg oct.Config, t *tree.Tree) {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	CondenseContext(context.Background(), inst, cfg, t)
 }
 

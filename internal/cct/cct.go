@@ -55,6 +55,7 @@ type Timings struct {
 // returned in Result.Timings and recorded under the "cct.build" prefix of
 // the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	return BuildContext(context.Background(), inst, cfg)
 }
 
@@ -63,7 +64,8 @@ func Build(inst *oct.Instance, cfg oct.Config) (*Result, error) {
 // between and inside stages (clustering's merge loop, the assignment loop),
 // returning ctx.Err().
 func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Result, error) {
-	span, ctx := obs.StartSpanContext(ctx, "cct.build")
+	// Validate before the span starts: rejected inputs are not builds and
+	// must not leave an unended span (octlint: obsdiscipline).
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("cct: %w", err)
 	}
@@ -73,10 +75,12 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	if inst.N() == 0 {
 		return nil, fmt.Errorf("cct: empty instance")
 	}
+	span, ctx := obs.StartSpanContext(ctx, "cct.build")
 
 	// Line 1: embeddings. E(q)_i is the raw similarity of q to the i-th
 	// set — Jaccard or F1 for those bases, (r+p)/2 for Perfect-Recall —
 	// sparse because disjoint sets contribute zeros.
+	//lint:ignore ctxflow Embed has no context-taking callees to nest under
 	esp := span.Child("embed")
 	vecs := Embed(inst, cfg)
 	embedDur := esp.End()
@@ -86,6 +90,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	dend, err := cluster.AgglomerativeContext(lctx, cluster.NewSparsePoints(vecs))
 	if err != nil {
 		lsp.End()
+		span.End()
 		return nil, fmt.Errorf("cct: clustering: %w", err)
 	}
 	t, catOf := skeletonFromDendrogram(inst, dend)
@@ -100,6 +105,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	err = assign.New(inst, cfg, t, catOf, targets).RunContext(actx)
 	assignDur := asp.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("cct: %w", err)
 	}
 

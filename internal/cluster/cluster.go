@@ -140,6 +140,7 @@ const MaxPoints = 12000
 // sequence it emits is ordered by merge distance, matching what a
 // global-minimum implementation would produce.
 func Agglomerative(p Points) (*Dendrogram, error) {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	return AgglomerativeContext(context.Background(), p)
 }
 
@@ -156,7 +157,7 @@ func AgglomerativeContext(ctx context.Context, p Points) (*Dendrogram, error) {
 	}
 	sp, ctx := obs.StartSpanContext(ctx, "cluster.agglomerative")
 	defer sp.End()
-	done := ctx.Done()
+	canceled := obs.CancelEvery(ctx, 1)
 	d := &Dendrogram{Leaves: n}
 	if n == 1 {
 		return d, nil
@@ -189,10 +190,8 @@ func AgglomerativeContext(ctx context.Context, p Points) (*Dendrogram, error) {
 	nextID := n
 	var chainSteps int64 // NN-chain extensions, the algorithm's inner loop
 	for merges := 0; merges < n-1; merges++ {
-		select {
-		case <-done:
+		if canceled() {
 			return nil, ctx.Err()
-		default:
 		}
 		if len(chain) == 0 {
 			for !alive[next] {

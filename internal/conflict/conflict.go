@@ -213,6 +213,7 @@ func Analyze(inst *oct.Instance, cfg oct.Config) *Result {
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(inst *oct.Instance, cfg oct.Config, aOpts Options) *Result {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	res, _ := AnalyzeContext(context.Background(), inst, cfg, aOpts)
 	return res
 }
@@ -276,14 +277,13 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 				results[w].elapsed = time.Since(t0)
 				workerTimer.Observe(results[w].elapsed)
 			}()
+			canceled := obs.CancelEveryChan(done, 1)
 			counts := make([]int32, n)  // |I| per partner
 			counts1 := make([]int32, n) // |I₁| per partner
 			var partners []int32
 			for a := w; a < n; a += workers {
-				select {
-				case <-done:
+				if canceled() {
 					return
-				default:
 				}
 				partners = partners[:0]
 				qa := inst.Sets[a]
@@ -369,8 +369,8 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 
 	// 3-conflicts only matter below the Exact threshold.
 	if !exact && !aOpts.No3Conflicts {
-		tsp := sp.Child("triples")
-		res.Conflicts3 = findTripleConflicts(ctx, res, workers)
+		tsp, tctx := sp.ChildContext(ctx, "triples")
+		res.Conflicts3 = findTripleConflicts(tctx, res, workers)
 		tsp.End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -413,15 +413,14 @@ func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			canceled := obs.CancelEveryChan(done, 1)
 			// Epoch-stamped membership arrays: related[x] == epoch means x
 			// is must-together with or in 2-conflict with the current q1.
 			related := make([]uint32, n)
 			epoch := uint32(0)
 			for mid := w; mid < n; mid += workers {
-				select {
-				case <-done:
+				if canceled() {
 					return
-				default:
 				}
 				q2 := oct.SetID(mid)
 				partners := res.MustT[mid]

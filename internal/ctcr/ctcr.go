@@ -96,6 +96,7 @@ type Timings struct {
 // returned in Result.Timings and recorded, along with workload counters,
 // under the "ctcr.build" prefix of the default obs registry.
 func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	return BuildContext(context.Background(), inst, cfg, opts)
 }
 
@@ -105,13 +106,15 @@ func Build(inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
 // and cancellation aborts the pipeline between and inside stages, returning
 // ctx.Err().
 func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts Options) (*Result, error) {
-	span, ctx := obs.StartSpanContext(ctx, "ctcr.build")
+	// Validate before the span starts: rejected inputs are not builds and
+	// must not leave an unended span (octlint: obsdiscipline).
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
+	span, ctx := obs.StartSpanContext(ctx, "ctcr.build")
 
 	// Stage 1 (lines 1-9): rank, find conflicts, build the conflict
 	// (hyper)graph.
@@ -119,6 +122,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 	analysis, err := conflict.AnalyzeContext(actx, inst, cfg, conflict.Options{No3Conflicts: opts.Disable3Conflicts})
 	analyzeDur := asp.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
 
@@ -138,6 +142,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 	}
 	solveDur := ssp.End()
 	if err != nil {
+		span.End()
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
 
@@ -164,6 +169,8 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 	skipAssign := cfg.Variant.Base() == sim.BasePR && !hasBounds(cfg)
 	if !skipAssign {
 		if err := assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).RunContext(cctx); err != nil {
+			csp.End()
+			span.End()
 			return nil, fmt.Errorf("ctcr: %w", err)
 		}
 		if !opts.DisableIntermediates {
@@ -377,8 +384,12 @@ type pairHeap []pairEntry
 
 func (h pairHeap) Len() int { return len(h) }
 func (h pairHeap) Less(i, j int) bool {
-	if h[i].frac != h[j].frac {
-		return h[i].frac > h[j].frac
+	// Two-sided ordering instead of a float != guard (octlint: floateq).
+	if h[i].frac > h[j].frac {
+		return true
+	}
+	if h[i].frac < h[j].frac {
+		return false
 	}
 	return h[i].weight > h[j].weight
 }

@@ -665,6 +665,7 @@ func IDs() []string {
 
 // Run dispatches an experiment by ID.
 func Run(id string, opts Options) (*Result, error) {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	return RunContext(context.Background(), id, opts)
 }
 

@@ -1,0 +1,121 @@
+// Package invariant checks the structural and semantic invariants that every
+// category tree produced by the pipeline must satisfy: the Section 2.1 model
+// requirements (child-union containment, per-item branch bounds), internal
+// link coherence of the tree data structure, and consistency of the
+// objective S(Q, W, T) with its per-set decomposition.
+//
+// The checks are deliberately independent re-derivations — they recompute
+// everything from first principles rather than trusting the builders'
+// bookkeeping — so the fuzz targets in this package can drive CTCR and CCT
+// over random instances and catch any drift between the algorithms and the
+// model. CI runs the fuzz targets in smoke mode on every push.
+package invariant
+
+import (
+	"fmt"
+
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+// Check validates t against the tree model: link coherence (every child
+// points back to its parent, every node is registered under its ID, the node
+// count matches the walk) and the Section 2.1 requirements via tree.Validate
+// (child-union containment and per-item branch bounds under cfg).
+func Check(t *tree.Tree, cfg oct.Config) error {
+	if t == nil {
+		return fmt.Errorf("invariant: nil tree")
+	}
+	root := t.Root()
+	if root == nil {
+		return fmt.Errorf("invariant: nil root")
+	}
+	if root.Parent() != nil {
+		return fmt.Errorf("invariant: root %d has parent %d", root.ID, root.Parent().ID)
+	}
+	walked := 0
+	var err error
+	t.Walk(func(n *tree.Node) {
+		if err != nil {
+			return
+		}
+		walked++
+		if got := t.Node(n.ID); got != n {
+			err = fmt.Errorf("invariant: node %d not registered under its ID", n.ID)
+			return
+		}
+		for _, c := range n.Children() {
+			if c.Parent() != n {
+				err = fmt.Errorf("invariant: child %d of %d has parent link to %v", c.ID, n.ID, c.Parent())
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if walked != t.Len() {
+		return fmt.Errorf("invariant: walk reached %d nodes, tree registers %d (unreachable or leaked nodes)", walked, t.Len())
+	}
+	return t.Validate(cfg)
+}
+
+// ScoreConsistency verifies the objective bookkeeping of t over inst:
+// every per-set best-cover similarity lies in [0, 1], Score equals the sum
+// of weighted best covers, and NormalizedScore is that sum over the total
+// weight, inside [0, 1]. Comparisons use the sim package's Eps tolerance
+// (scaled by the number of terms for the sums).
+func ScoreConsistency(t *tree.Tree, inst *oct.Instance, cfg oct.Config) error {
+	sumTol := sim.Eps * float64(1+inst.N())
+	sum := 0.0
+	for i, s := range inst.Sets {
+		_, sc := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s))
+		if sc < 0 || sc > 1+sim.Eps {
+			return fmt.Errorf("invariant: set %d best-cover score %v outside [0, 1]", i, sc)
+		}
+		if cfg.Variant.Binary() && sc > 0 && !sim.Eq(sc, 1) {
+			return fmt.Errorf("invariant: set %d scored %v under binary variant %v", i, sc, cfg.Variant)
+		}
+		sum += s.Weight * sc
+	}
+	score := t.Score(inst, cfg)
+	if diff := score - sum; diff > sumTol || diff < -sumTol {
+		return fmt.Errorf("invariant: Score %v != Σ W(q)·bestCover(q) = %v", score, sum)
+	}
+	norm := t.NormalizedScore(inst, cfg)
+	tw := inst.TotalWeight()
+	if tw == 0 {
+		if norm != 0 {
+			return fmt.Errorf("invariant: NormalizedScore %v on zero-weight instance", norm)
+		}
+		return nil
+	}
+	if want := score / tw; !sim.Eq(norm, want) {
+		return fmt.Errorf("invariant: NormalizedScore %v != Score/TotalWeight = %v", norm, want)
+	}
+	if norm < -sim.Eps || norm > 1+sumTol {
+		return fmt.Errorf("invariant: NormalizedScore %v outside [0, 1]", norm)
+	}
+	return nil
+}
+
+// CoversSelected verifies that every set in selected is actually covered by
+// some category of t (positive similarity at its effective threshold).
+//
+// This is guaranteed only in the Exact regime (Theorem 3.1), where the
+// 2-conflicts fully characterize coverability and construction neither
+// contests items nor condenses. For δ < 1 the selection is only pairwise and
+// triple-wise conflict-free; higher-order conflicts the analysis does not
+// account for (as Section 3.3 notes) can leave a selected set uncovered
+// after greedy item assignment, so the check does not hold universally
+// there — callers assert it per-regime.
+func CoversSelected(t *tree.Tree, inst *oct.Instance, cfg oct.Config, selected []oct.SetID) error {
+	for _, q := range selected {
+		s := inst.Sets[q]
+		if _, sc := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s)); sc <= 0 {
+			return fmt.Errorf("invariant: selected set %d (δ=%v, |q|=%d) is not covered", q, cfg.Delta0(s), s.Items.Len())
+		}
+	}
+	return nil
+}

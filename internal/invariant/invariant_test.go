@@ -1,0 +1,102 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/invariant"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+func validTree() *tree.Tree {
+	t := tree.New(intset.Range(0, 10))
+	a := t.AddCategory(nil, intset.Range(0, 6), "a")
+	t.AddCategory(nil, intset.Range(6, 10), "b")
+	t.AddCategory(a, intset.Range(0, 3), "a1")
+	return t
+}
+
+func TestCheckValidTree(t *testing.T) {
+	if err := invariant.Check(validTree(), oct.Config{Variant: sim.Exact}); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestCheckFlagsUnionViolation(t *testing.T) {
+	tr := validTree()
+	// A child with items its parent lacks breaks Section 2.1 requirement 1.
+	tr.AddCategory(tr.Node(1), intset.New(9), "stray")
+	err := invariant.Check(tr, oct.Config{Variant: sim.Exact})
+	if err == nil || !strings.Contains(err.Error(), "does not contain child") {
+		t.Fatalf("union violation not flagged: %v", err)
+	}
+}
+
+func TestCheckFlagsBranchBoundViolation(t *testing.T) {
+	tr := tree.New(intset.Range(0, 4))
+	// Item 0 in two most-specific categories violates the default bound 1.
+	tr.AddCategory(nil, intset.New(0, 1), "x")
+	tr.AddCategory(nil, intset.New(0, 2), "y")
+	err := invariant.Check(tr, oct.Config{Variant: sim.Exact})
+	if err == nil || !strings.Contains(err.Error(), "most-specific") {
+		t.Fatalf("branch-bound violation not flagged: %v", err)
+	}
+	// The same tree is fine once the item's bound allows two branches.
+	cfg := oct.Config{Variant: sim.Exact, DefaultItemBound: 2}
+	if err := invariant.Check(tr, cfg); err != nil {
+		t.Fatalf("bound-2 tree rejected: %v", err)
+	}
+}
+
+func testInstance() (*oct.Instance, oct.Config) {
+	inst := &oct.Instance{
+		Universe: 10,
+		Sets: []oct.InputSet{
+			{Items: intset.Range(0, 6), Weight: 3},
+			{Items: intset.Range(6, 10), Weight: 2},
+			{Items: intset.Range(0, 3), Weight: 1},
+		},
+	}
+	return inst, oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.8}
+}
+
+func TestScoreConsistency(t *testing.T) {
+	inst, cfg := testInstance()
+	if err := invariant.ScoreConsistency(validTree(), inst, cfg); err != nil {
+		t.Fatalf("consistent tree rejected: %v", err)
+	}
+}
+
+func TestCoversSelected(t *testing.T) {
+	inst, cfg := testInstance()
+	tr := validTree()
+	all := []oct.SetID{0, 1, 2}
+	if err := invariant.CoversSelected(tr, inst, cfg, all); err != nil {
+		t.Fatalf("covered selection rejected: %v", err)
+	}
+	// A tree without the {6..9} category cannot cover set 1 at δ=0.8.
+	bare := tree.New(intset.Range(0, 10))
+	bare.AddCategory(nil, intset.Range(0, 6), "a")
+	err := invariant.CoversSelected(bare, inst, cfg, all)
+	if err == nil || !strings.Contains(err.Error(), "selected set 1") {
+		t.Fatalf("uncovered selection not flagged: %v", err)
+	}
+}
+
+func TestDecodeInstanceRoundTrip(t *testing.T) {
+	for i, seed := range seedCorpus() {
+		inst, cfg, ok := decodeInstance(seed)
+		if !ok {
+			t.Fatalf("seed %d rejected by decoder", i)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("seed %d decodes to invalid instance: %v", i, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("seed %d decodes to invalid config: %v", i, err)
+		}
+	}
+}

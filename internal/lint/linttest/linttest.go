@@ -1,0 +1,116 @@
+// Package linttest runs lint analyzers over fixture packages and matches
+// their diagnostics against expectation comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	a == b // want "== on floating-point values"
+//
+// Each `// want` comment holds one or more quoted regular expressions; every
+// expression must match a distinct diagnostic reported on that line, and
+// every diagnostic must be claimed by some expression. Fixtures live under
+// testdata/ (ignored by the go tool) and are type-checked against the real
+// module's export data under a fake import path, so analyzers with
+// path-suffix Match functions treat them as the packages they stand in for.
+package linttest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"categorytree/internal/lint"
+)
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// ModuleRoot locates the enclosing module's root directory via `go env
+// GOMOD`, so fixture loads resolve imports against the real module
+// regardless of the test binary's working directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("linttest: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("linttest: not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// Run loads fixtureDir as a package with the given import path, applies the
+// analyzer (through lint.Run, so //lint:ignore directives participate), and
+// fails the test on any mismatch between diagnostics and want comments.
+// extraDeps name packages the fixtures import beyond the module's own
+// dependency closure.
+func Run(t *testing.T, a *lint.Analyzer, fixtureDir, importPath string, extraDeps ...string) {
+	t.Helper()
+	if a.Match != nil && !a.Match(importPath) {
+		t.Fatalf("linttest: analyzer %s does not match fixture import path %q", a.Name, importPath)
+	}
+	pkg, err := lint.LoadFixture(ModuleRoot(t), fixtureDir, importPath, extraDeps...)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture: %v", err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("linttest: %s:%d: want comment without a quoted pattern", k.file, k.line)
+				}
+				for _, arg := range args {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("linttest: %s:%d: bad want pattern %q: %v", k.file, k.line, arg[1], err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		claimed := false
+		for _, exp := range wants[k] {
+			if !exp.hit && exp.re.MatchString(d.Message) {
+				exp.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("linttest: unexpected diagnostic at %s:%d: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.hit {
+				t.Errorf("linttest: missing diagnostic at %s:%d matching %q", k.file, k.line, exp.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the package import path.
+	Path string
+	// Dir is the package directory.
+	Dir string
+	// Fset positions all files of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables.
+	Info *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load lists, parses, and type-checks the packages matching the patterns,
+// resolving imports through compiled export data (`go list -export`), so it
+// needs no network access and no dependencies outside the standard library.
+// extraDeps names additional packages (e.g. standard-library packages used
+// only by fixtures) whose export data should be available to the type
+// checker.
+func Load(dir string, patterns []string, extraDeps ...string) ([]*Package, error) {
+	entries, err := goList(dir, append(patterns, extraDeps...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	targets := make([]listEntry, 0, len(entries))
+	extra := make(map[string]bool, len(extraDeps))
+	for _, d := range extraDeps {
+		extra[d] = true
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard && !extra[e.ImportPath] {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, e := range targets {
+		pkg, err := check(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadFixture parses and type-checks a single directory of fixture files as
+// a package with the given import path, resolving imports through the module
+// rooted at modDir (plus extraDeps). Fixture directories live under
+// testdata/, which the go tool ignores, so they are listed by hand here.
+func LoadFixture(modDir, fixtureDir, importPath string, extraDeps ...string) (*Package, error) {
+	entries, err := goList(modDir, append([]string{"./..."}, extraDeps...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	ents, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range ents {
+		if !ent.IsDir() && filepath.Ext(ent.Name()) == ".go" {
+			files = append(files, ent.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files in %s", fixtureDir)
+	}
+	pkg, err := check(fset, imp, importPath, fixtureDir, files)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %w", fixtureDir, err)
+	}
+	return pkg, nil
+}
+
+// check parses the named files of one package directory and type-checks them.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// goList runs `go list -export -deps -json` over the patterns in dir.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

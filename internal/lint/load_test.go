@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	pkgs, err := Load("..", []string{"categorytree/internal/sim", "categorytree/internal/ctcr"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.Path)
+		}
+	}
+	sim := byPath["categorytree/internal/sim"]
+	if sim == nil {
+		t.Fatal("missing categorytree/internal/sim")
+	}
+	if sim.Types.Scope().Lookup("Score") == nil {
+		t.Error("sim.Score not in package scope")
+	}
+	// Type info must cover expressions (the analyzers depend on it).
+	typed := 0
+	for _, f := range sim.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if _, ok := sim.Info.Types[e]; ok {
+					typed++
+				}
+			}
+			return true
+		})
+	}
+	if typed == 0 {
+		t.Error("no typed expressions recorded")
+	}
+}
+
+func TestPathMatcher(t *testing.T) {
+	m := PathMatcher("internal/conflict", "internal/mis")
+	for path, want := range map[string]bool{
+		"categorytree/internal/conflict":  true,
+		"fixtures/internal/mis":           true,
+		"internal/conflict":               true,
+		"categorytree/internal/cluster":   false,
+		"categorytree/internal/conflictx": false,
+	} {
+		if got := m(path); got != want {
+			t.Errorf("match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

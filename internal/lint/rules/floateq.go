@@ -1,0 +1,43 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"categorytree/internal/lint"
+)
+
+// FloatEq bans == and != on floating-point values in the packages that
+// compute similarities and objectives. Exact float equality at the δ
+// boundary is where threshold semantics silently drift (0.1*7 != 0.7); the
+// sim.Eq and sim.AtLeast ε-helpers make boundary behavior deliberate.
+// Comparator-style orderings should use two-sided < / > tests instead.
+var FloatEq = &lint.Analyzer{
+	Name:  "floateq",
+	Doc:   "no ==/!= on float64 similarity or objective values; use sim.Eq / sim.AtLeast",
+	Match: lint.PathMatcher("internal/sim", "internal/oct", "internal/metrics", "internal/ctcr", "internal/cct"),
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(info.TypeOf(be.X)) || isFloat(info.TypeOf(be.Y)) {
+			pass.Reportf(be.OpPos, "%s on floating-point values; use sim.Eq (or two-sided </> ordering) so δ-boundary behavior is deliberate", be.Op)
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,210 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"categorytree/internal/lint"
+)
+
+// ObsDiscipline enforces the conventions that make the per-request
+// observability layer trustworthy inside pipeline packages:
+//
+//   - metrics must come from the context's registry (obs.FromContext /
+//     obs.StartSpanContext), never from the process-global accessors
+//     (obs.Default, obs.StartSpan, obs.GetCounter, ...), which would leak a
+//     request's measurements into the shared registry;
+//   - every started span (StartSpan, StartSpanContext, Child, ChildContext)
+//     must be ended on every path: either a deferred End, or no return
+//     statement between the start and the first End call.
+var ObsDiscipline = &lint.Analyzer{
+	Name:  "obsdiscipline",
+	Doc:   "pipeline packages must use the context's obs registry and End every started span on all paths",
+	Match: lint.PathMatcher(pipelinePkgs...),
+	Run:   runObsDiscipline,
+}
+
+// globalObsAccessors are the obs entry points bound to the process-global
+// registry.
+var globalObsAccessors = map[string]bool{
+	"Default": true, "StartSpan": true, "GetCounter": true,
+	"GetGauge": true, "GetTimer": true, "GetHistogram": true,
+}
+
+// spanStarters are the obs functions/methods that begin a span. The value
+// records which result index carries the span.
+var spanStarters = map[string]bool{
+	"StartSpan": true, "StartSpanContext": true, "Child": true, "ChildContext": true,
+}
+
+func runObsDiscipline(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Global-registry accessors: package-level obs.X only (methods named
+		// StartSpan on a *Registry value are registry-scoped and fine).
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, isMethod := info.Selections[sel]; isMethod {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj != nil && isPkgFunc(obj, "internal/obs", obj.Name()) && globalObsAccessors[obj.Name()] {
+				pass.Reportf(sel.Pos(), "obs.%s records into the process-global registry; use obs.FromContext(ctx) or obs.StartSpanContext", obj.Name())
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanEnds(pass, file, fn.Body, fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// spanStart is one tracked span variable within a function.
+type spanStart struct {
+	obj  types.Object // the span variable
+	pos  token.Pos    // position of the starting call
+	fn   ast.Node     // innermost enclosing FuncDecl/FuncLit
+	name string       // variable name, for diagnostics
+}
+
+// checkSpanEnds verifies End discipline for spans started in body.
+func checkSpanEnds(pass *lint.Pass, file *ast.File, body *ast.BlockStmt, decl *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var starts []spanStart
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(info, call)
+		if obj == nil || !spanStarters[obj.Name()] || obj.Pkg() == nil ||
+			!isPkgFunc(obj, "internal/obs", obj.Name()) {
+			return true
+		}
+		ident, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if ident.Name == "_" {
+			pass.Reportf(as.Pos(), "span from %s is discarded; it will never be ended", obj.Name())
+			return true
+		}
+		var vobj types.Object
+		if as.Tok == token.DEFINE {
+			vobj = info.Defs[ident]
+		} else {
+			vobj = info.Uses[ident]
+		}
+		if vobj == nil {
+			return true
+		}
+		starts = append(starts, spanStart{
+			obj:  vobj,
+			pos:  as.Pos(),
+			fn:   innermostFunc(file, as.Pos()),
+			name: ident.Name,
+		})
+		return true
+	})
+
+	for _, st := range starts {
+		analyzeSpanLifetime(pass, file, decl, st)
+	}
+}
+
+// analyzeSpanLifetime checks one tracked span for End-on-all-paths.
+func analyzeSpanLifetime(pass *lint.Pass, file *ast.File, decl *ast.FuncDecl, st spanStart) {
+	info := pass.Pkg.Info
+	var (
+		deferred  bool
+		firstEnd  = token.Pos(-1)
+		otherUses int
+	)
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCallOn(info, node.Call, st.obj) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isEndCallOn(info, node, st.obj) {
+				if firstEnd < 0 || node.Pos() < firstEnd {
+					firstEnd = node.Pos()
+				}
+				return true
+			}
+			// The span escaping as a call argument transfers End
+			// responsibility; don't second-guess it.
+			for _, arg := range node.Args {
+				if identIs(info, arg, st.obj) {
+					otherUses++
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range node.Results {
+				if identIs(info, r, st.obj) {
+					otherUses++
+				}
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if firstEnd < 0 {
+		if otherUses == 0 {
+			pass.Reportf(st.pos, "span %s is started but never ended; every Start/Child needs a matching End", st.name)
+		}
+		return
+	}
+	// Non-deferred End: any return between the start and the first End can
+	// leak the span. Only returns in the same function literal count.
+	ast.Inspect(decl, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() <= st.pos || ret.Pos() >= firstEnd {
+			return true
+		}
+		if innermostFunc(file, ret.Pos()) != st.fn {
+			return true
+		}
+		pass.Reportf(ret.Pos(), "return leaves span %s unended (started without a deferred End); call %s.End() before returning", st.name, st.name)
+		return true
+	})
+}
+
+// isEndCallOn reports whether call is <obj>.End().
+func isEndCallOn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return identIs(info, sel.X, obj)
+}
+
+// identIs reports whether expr is an identifier bound to obj.
+func identIs(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == obj || info.Defs[id] == obj
+}

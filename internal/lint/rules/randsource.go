@@ -1,0 +1,41 @@
+package rules
+
+import (
+	"strconv"
+
+	"categorytree/internal/lint"
+)
+
+// RandSource keeps the synthetic-data generators deterministic: every
+// experiment in EXPERIMENTS.md regenerates byte-for-byte from fixed seeds,
+// which only holds while all randomness flows through internal/xrand's
+// explicitly seeded streams. Importing math/rand (whose global functions
+// are seeded per-process) in a generator package breaks reproducibility
+// invisibly.
+var RandSource = &lint.Analyzer{
+	Name:  "randsource",
+	Doc:   "generator packages must draw randomness from internal/xrand, never math/rand",
+	Match: lint.PathMatcher("internal/dataset", "internal/catalog", "internal/queries", "internal/search"),
+	Run:   runRandSource,
+}
+
+func runRandSource(pass *lint.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a generator package; draw from internal/xrand so datasets stay a pure function of their seed", path)
+			}
+		}
+		// A dot import would let rand identifiers slip past the import
+		// check unqualified; ban them in generator packages.
+		for _, imp := range file.Imports {
+			if imp.Name != nil && imp.Name.Name == "." {
+				pass.Reportf(imp.Pos(), "dot import hides the origin of identifiers from the randomness audit; use a named import")
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package rules defines the project-specific analyzers run by cmd/octlint.
+// Each encodes a repository convention the observability and reproducibility
+// layers depend on; see the individual analyzer docs and the "Static
+// analysis & invariants" section of the README.
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"categorytree/internal/lint"
+)
+
+// All returns every analyzer in presentation order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{CtxFlow, ObsDiscipline, FloatEq, RandSource, TodoJira}
+}
+
+// pipelinePkgs are the packages forming the build pipeline: they are
+// context-threaded end to end and record metrics per request.
+var pipelinePkgs = []string{
+	"internal/conflict", "internal/mis", "internal/cluster", "internal/assign",
+	"internal/ctcr", "internal/cct", "internal/experiments",
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// sigAcceptsContext reports whether any parameter of sig is a
+// context.Context.
+func sigAcceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the object a call expression invokes, or nil (builtin,
+// type conversion, indirect call through a variable).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Func.
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the package whose
+// import path ends in pkgSuffix.
+func isPkgFunc(obj types.Object, pkgSuffix, name string) bool {
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// innermostFunc returns the innermost FuncDecl or FuncLit of file that
+// contains pos, or nil.
+func innermostFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n // deeper matches overwrite shallower ones
+			}
+		}
+		return n == nil || (n.Pos() <= pos && pos < n.End()) || true
+	})
+	return best
+}

@@ -1,0 +1,57 @@
+package rules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"categorytree/internal/lint/linttest"
+	"categorytree/internal/lint/rules"
+)
+
+// Each fixture package is type-checked under a fake import path whose suffix
+// matches the real package the analyzer guards, and carries `// want`
+// comments on every line a diagnostic must land on (plus clean declarations
+// that must stay silent).
+
+func TestCtxFlowFixture(t *testing.T) {
+	linttest.Run(t, rules.CtxFlow,
+		filepath.Join("testdata", "ctxflow"), "fix/internal/conflict", "context")
+}
+
+func TestObsDisciplineFixture(t *testing.T) {
+	linttest.Run(t, rules.ObsDiscipline,
+		filepath.Join("testdata", "obsdiscipline"), "fix/internal/ctcr", "context", "fmt")
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	linttest.Run(t, rules.FloatEq,
+		filepath.Join("testdata", "floateq"), "fix/internal/sim")
+}
+
+func TestRandSourceFixture(t *testing.T) {
+	linttest.Run(t, rules.RandSource,
+		filepath.Join("testdata", "randsource"), "fix/internal/dataset", "math/rand", "strings")
+}
+
+func TestTodoJiraFixture(t *testing.T) {
+	linttest.Run(t, rules.TodoJira,
+		filepath.Join("testdata", "todojira"), "fix/internal/gadget", "fmt")
+}
+
+func TestAllRegistersEveryAnalyzer(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range rules.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"ctxflow", "obsdiscipline", "floateq", "randsource", "todojira"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+}

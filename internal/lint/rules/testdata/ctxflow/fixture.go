@@ -1,0 +1,42 @@
+// Fixture for the ctxflow analyzer: type-checked under the fake import path
+// fix/internal/conflict, so the pipeline-package matcher applies.
+package fix
+
+import "context"
+
+// Analyze has a context-taking sibling below; calling it from a function
+// that holds a ctx must be flagged.
+func Analyze() int { return 1 }
+
+// AnalyzeContext is the sibling ctxflow steers callers toward.
+func AnalyzeContext(ctx context.Context) int { return 1 }
+
+// Plain has no sibling; calling it is always fine.
+func Plain() int { return 2 }
+
+type Solver struct{}
+
+func (s *Solver) Solve() int { return 3 }
+
+func (s *Solver) SolveContext(ctx context.Context) int { return 3 }
+
+func detached() {
+	ctx := context.Background() // want "context.Background in a pipeline package"
+	_ = ctx
+	_ = context.TODO() // want "context.TODO in a pipeline package"
+}
+
+func wrapper() int {
+	//lint:ignore ctxflow documented no-context compatibility wrapper
+	_ = context.Background()
+	return Analyze() // no ctx in scope here, so the sibling rule is silent
+}
+
+func threaded(ctx context.Context, s *Solver) int {
+	n := Analyze() // want "Analyze ignores the function's ctx; call fix.AnalyzeContext instead"
+	n += s.Solve() // want "Solve ignores the function's ctx; call Solver.SolveContext instead"
+	n += AnalyzeContext(ctx)
+	n += s.SolveContext(ctx)
+	n += Plain()
+	return n
+}

@@ -1,0 +1,31 @@
+// Fixture for the floateq analyzer: type-checked under the fake import path
+// fix/internal/sim, one of the scoring packages the matcher covers.
+package fix
+
+func equalScores(a, b float64) bool {
+	return a == b // want "== on floating-point values"
+}
+
+func changed(prev, cur float32) bool {
+	return prev != cur // want "!= on floating-point values"
+}
+
+func mixedConst(x float64) bool {
+	return x == 0.7 // want "== on floating-point values"
+}
+
+func ordering(a, b float64) bool {
+	if a < b {
+		return true
+	}
+	return a > b
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq bit-identical comparison is intended here
+	return a == b
+}

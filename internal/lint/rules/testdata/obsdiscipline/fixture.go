@@ -1,0 +1,68 @@
+// Fixture for the obsdiscipline analyzer: type-checked under the fake import
+// path fix/internal/ctcr, so the pipeline-package matcher applies.
+package fix
+
+import (
+	"context"
+	"fmt"
+
+	"categorytree/internal/obs"
+)
+
+func globalRegistry() {
+	reg := obs.Default() // want "obs.Default records into the process-global registry"
+	_ = reg
+	c := obs.GetCounter("x") // want "obs.GetCounter records into the process-global registry"
+	_ = c
+}
+
+func globalSpan() {
+	sp := obs.StartSpan("stage") // want "obs.StartSpan records into the process-global registry"
+	defer sp.End()
+}
+
+func contextual(ctx context.Context) {
+	reg := obs.FromContext(ctx) // context-scoped accessor: fine
+	_ = reg
+}
+
+func discarded(ctx context.Context) {
+	_, ctx2 := obs.StartSpanContext(ctx, "stage") // want "span from StartSpanContext is discarded"
+	_ = ctx2
+}
+
+func neverEnded(ctx context.Context) {
+	sp, ctx2 := obs.StartSpanContext(ctx, "stage") // want "span sp is started but never ended"
+	_ = sp
+	_ = ctx2
+}
+
+func leakyReturn(ctx context.Context, fail bool) error {
+	sp, _ := obs.StartSpanContext(ctx, "stage")
+	if fail {
+		return fmt.Errorf("fail") // want "return leaves span sp unended"
+	}
+	sp.End()
+	return nil
+}
+
+func deferredEnd(ctx context.Context, fail bool) error {
+	sp, _ := obs.StartSpanContext(ctx, "stage")
+	defer sp.End()
+	if fail {
+		return fmt.Errorf("fail")
+	}
+	return nil
+}
+
+func linearEnd(ctx context.Context) {
+	sp, _ := obs.StartSpanContext(ctx, "stage")
+	sp.End()
+}
+
+func escapes(ctx context.Context) {
+	sp, _ := obs.StartSpanContext(ctx, "stage")
+	finish(sp) // transferring the span hands off End responsibility
+}
+
+func finish(sp obs.Span) { sp.End() }

@@ -1,0 +1,16 @@
+// Fixture for the randsource analyzer: type-checked under the fake import
+// path fix/internal/dataset, a generator package.
+package fix
+
+import (
+	"math/rand" // want "import of math/rand in a generator package"
+	. "strings" // want "dot import hides the origin of identifiers"
+
+	"categorytree/internal/xrand"
+)
+
+func unseeded() int { return rand.Int() }
+
+func dotted(s string) string { return ToUpper(s) }
+
+func seeded(rng *xrand.RNG) { _ = rng }

@@ -1,0 +1,35 @@
+// Fixture for the todojira analyzer: type-checked under the fake import path
+// fix/internal/gadget, a library package. The package clause name determines
+// the required panic prefix.
+package gadget
+
+import "fmt"
+
+func naked() {
+	panic("boom") // want "naked panic"
+}
+
+func nakedErr(err error) {
+	panic(err) // want "naked panic"
+}
+
+func unprefixedFormat(n int) {
+	panic(fmt.Sprintf("bad n %d", n)) // want "naked panic"
+}
+
+func prefixed() {
+	panic("gadget: cannot remove the root")
+}
+
+func prefixedFormat(n int) {
+	panic(fmt.Sprintf("gadget: bad n %d", n))
+}
+
+func prefixedErrorf(err error) {
+	panic(fmt.Errorf("gadget: wrapping %w", err))
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

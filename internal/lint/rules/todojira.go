@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"categorytree/internal/lint"
+)
+
+// TodoJira bans naked panics in library packages reachable from octserve: a
+// panic that crosses the server's recover middleware must carry a
+// package-prefixed diagnostic ("tree: cannot remove the root") so the
+// resulting 500 and log line identify the failing subsystem. A panic(err),
+// panic(nil), or unprefixed string gives operators nothing to grep for.
+var TodoJira = &lint.Analyzer{
+	Name: "todojira",
+	Doc:  "library panics must carry a package-prefixed diagnostic message",
+	Match: func(path string) bool {
+		if !strings.Contains(path, "internal/") {
+			return false
+		}
+		// The lint framework itself is tooling, not a serving-path library.
+		return !strings.Contains(path, "internal/lint")
+	},
+	Run: runTodoJira,
+}
+
+func runTodoJira(pass *lint.Pass) {
+	info := pass.Pkg.Info
+	pkgName := pass.Pkg.Types.Name()
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if obj := info.Uses[id]; obj == nil || obj.Pkg() != nil {
+			return true // shadowed identifier, not the builtin
+		}
+		if len(call.Args) == 1 && panicArgIsDiagnostic(info, call.Args[0], pkgName) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "naked panic; panic messages in library packages must be %q-prefixed strings (or fmt.Sprintf thereof) so failures are attributable", pkgName+": ")
+		return true
+	})
+}
+
+// panicArgIsDiagnostic accepts a string constant starting with "<pkg>: ", or
+// a fmt.Sprintf/fmt.Errorf call whose format string does.
+func panicArgIsDiagnostic(info *types.Info, arg ast.Expr, pkgName string) bool {
+	prefix := pkgName + ": "
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(a.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.CallExpr:
+		obj := calleeObj(info, a)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+			return false
+		}
+		if obj.Name() != "Sprintf" && obj.Name() != "Errorf" {
+			return false
+		}
+		if len(a.Args) == 0 {
+			return false
+		}
+		lit, ok := ast.Unparen(a.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return false
+		}
+		s, err := strconv.Unquote(lit.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	}
+	return false
+}

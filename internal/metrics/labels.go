@@ -81,8 +81,12 @@ func distinguishingLabel(s, parent map[string]float64, maxTokens int) string {
 		cands = append(cands, scored{tok: tok, score: lift})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
+		// Two-sided ordering instead of a float != guard (octlint: floateq).
+		if cands[i].score > cands[j].score {
+			return true
+		}
+		if cands[i].score < cands[j].score {
+			return false
 		}
 		return cands[i].tok < cands[j].tok
 	})

@@ -1,6 +1,10 @@
 package mis
 
-import "sort"
+import (
+	"sort"
+
+	"categorytree/internal/obs"
+)
 
 // exactSolver is a branch-and-reduce search for maximum weight independent
 // sets on a (typically kernelized component of a) hypergraph.
@@ -45,9 +49,10 @@ type exactSolver struct {
 	// aborted is set when the node budget runs out; the result is then the
 	// best solution found, without an optimality certificate.
 	aborted bool
-	// done, when non-nil, is polled every cancelCheckStride nodes; a closed
-	// channel aborts the search like an exhausted budget.
-	done <-chan struct{}
+	// canceled polls the caller's done channel once per cancelCheckStride
+	// nodes (obs.CancelEveryChan); cancellation aborts the search like an
+	// exhausted budget.
+	canceled func() bool
 
 	// scratch reused by the bound computation
 	cliqueOf []int32
@@ -69,9 +74,9 @@ const (
 	folded
 )
 
-// cancelCheckStride bounds how often the search polls its done channel: a
-// channel receive per node would dominate the cheap trail operations, so the
-// poll runs once per stride of expansions.
+// cancelCheckStride bounds how often the search polls its done channel
+// (via obs.CancelEveryChan): a channel receive per node would dominate the
+// cheap trail operations, so the poll runs once per stride of expansions.
 const cancelCheckStride = 1024
 
 // solveExact finds a maximum weight independent set of g, exploring at most
@@ -94,7 +99,7 @@ func solveExactN(g *Hypergraph, budget int64, incumbent []int, done <-chan struc
 		triInc:   make([]int8, len(g.tris)),
 		triDed:   make([]bool, len(g.tris)),
 		budget:   budget,
-		done:     done,
+		canceled: obs.CancelEveryChan(done, cancelCheckStride),
 		cliqueOf: make([]int32, g.n),
 	}
 	if incumbent != nil && g.IsIndependent(incumbent) {
@@ -115,13 +120,9 @@ func (s *exactSolver) search() {
 		s.aborted = true
 		return
 	}
-	if s.done != nil && s.nodes%cancelCheckStride == 0 {
-		select {
-		case <-s.done:
-			s.aborted = true
-			return
-		default:
-		}
+	if s.canceled() {
+		s.aborted = true
+		return
 	}
 	mark := len(s.trail)
 

@@ -23,6 +23,7 @@ import (
 // guarantee: the best part holds at least 1/k of the optimum's weight
 // because the optimum's restriction to some part is itself independent.
 func SolvePartition(g *Hypergraph, parts int, opts Options) Result {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	res, _ := SolvePartitionContext(context.Background(), g, parts, opts)
 	return res
 }

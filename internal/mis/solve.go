@@ -58,6 +58,7 @@ type Result struct {
 // component exactly by branch and bound (warm-started by greedy), and fall
 // back to greedy + local search on oversized components.
 func Solve(g *Hypergraph, opts Options) Result {
+	//lint:ignore ctxflow no-context compatibility wrapper
 	res, _ := SolveContext(context.Background(), g, opts)
 	return res
 }

@@ -1,0 +1,48 @@
+package obs
+
+import "context"
+
+// CancelEvery returns a poll function for hot loops that must honor
+// cancellation without paying a channel receive on every iteration. The
+// returned function reports whether ctx has been canceled, actually checking
+// the channel only once per stride calls; once it observes cancellation it
+// latches and keeps returning true without further channel operations.
+//
+// The closure carries unsynchronized state: create one per goroutine, not
+// one shared across workers. Stride 1 checks on every call and suits loops
+// whose bodies are already expensive (a merge step, a full pair sweep);
+// larger strides amortize the check across cheap iterations (e.g. the MIS
+// branch-and-bound polls every 1024 search nodes).
+func CancelEvery(ctx context.Context, stride int) func() bool {
+	return CancelEveryChan(ctx.Done(), stride)
+}
+
+// CancelEveryChan is CancelEvery for code that already holds a done channel
+// rather than a context. A nil channel never cancels, so the returned
+// function is a constant false — callers need no nil guard in the loop.
+func CancelEveryChan(done <-chan struct{}, stride int) func() bool {
+	if done == nil {
+		return func() bool { return false }
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	calls := 0
+	canceled := false
+	return func() bool {
+		if canceled {
+			return true
+		}
+		calls++
+		if calls < stride {
+			return false
+		}
+		calls = 0
+		select {
+		case <-done:
+			canceled = true
+		default:
+		}
+		return canceled
+	}
+}

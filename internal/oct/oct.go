@@ -163,8 +163,12 @@ func (inst *Instance) Ranking() []SetID {
 		if sa.Items.Len() != sb.Items.Len() {
 			return sa.Items.Len() > sb.Items.Len()
 		}
-		if sa.Weight != sb.Weight {
-			return sa.Weight < sb.Weight
+		// Two-sided ordering instead of a float != guard (octlint: floateq).
+		if sa.Weight < sb.Weight {
+			return true
+		}
+		if sa.Weight > sb.Weight {
+			return false
 		}
 		return ids[a] < ids[b]
 	})

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"categorytree/internal/intset"
+)
+
+// drift computes 0.1*k with runtime float64 arithmetic. Unlike the constant
+// expression 0.1*7 (exact in Go's untyped-constant arithmetic), this really
+// accumulates rounding error: drift(7) = 0.7000000000000001 > 0.7.
+func drift(k float64) float64 { return 0.1 * k }
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0.7, 0.7, true},
+		{drift(7), 0.7, true}, // 0.7000000000000001 vs 0.7
+		{0.3, drift(1) + 0.2, true},
+		{0.7, 0.7 + 2e-9, false},
+		{0, 0, true},
+		{1, 1 - 5e-10, true},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	cases := []struct {
+		x, t float64
+		want bool
+	}{
+		{0.7, 0.7, true},
+		{0.8, 0.7, true},
+		{0.7, drift(7), true}, // x marginally below a drifted threshold
+		{0.7 - 2e-9, 0.7, false},
+		{0.69, 0.7, false},
+	}
+	for _, c := range cases {
+		if got := AtLeast(c.x, c.t); got != c.want {
+			t.Errorf("AtLeast(%v, %v) = %v, want %v", c.x, c.t, got, c.want)
+		}
+	}
+}
+
+// TestScoreAtExactDelta pins the δ-boundary behavior of every variant: a
+// similarity of exactly δ is a cover, including when the threshold reaches
+// the comparison with accumulated float drift (0.1*7 > 0.7 as float64).
+func TestScoreAtExactDelta(t *testing.T) {
+	driftedDelta := drift(7) // 0.7000000000000001
+	if driftedDelta <= 0.7 {
+		t.Fatal("test premise: drift(7) must land above 0.7")
+	}
+
+	// Jaccard = 7/10 = 0.7: q = {0..9}, c = {0..6}.
+	q := intset.Range(0, 10)
+	cJ := intset.Range(0, 7)
+	if j := Jaccard(q, cJ); !Eq(j, 0.7) {
+		t.Fatalf("premise: Jaccard = %v, want 0.7", j)
+	}
+	// F1 = 2·6/(6+10) = 0.75: q2 = {0..5}, cF = {0..9}.
+	q2 := intset.Range(0, 6)
+	cF := intset.Range(0, 10)
+	if f := F1(q2, cF); !Eq(f, 0.75) {
+		t.Fatalf("premise: F1 = %v, want 0.75", f)
+	}
+	// Perfect-Recall: q2 ⊆ cP with precision 6/8 = 0.75.
+	cP := intset.Range(0, 8)
+	if p := Precision(q2, cP); !Eq(p, 0.75) {
+		t.Fatalf("premise: precision = %v, want 0.75", p)
+	}
+	driftedThreeQuarters := 0.75 + 5e-10 // within the Eps band above 0.75
+
+	cases := []struct {
+		name  string
+		v     Variant
+		q, c  intset.Set
+		delta float64
+		want  float64
+	}{
+		{"cutoff-jaccard exact δ", CutoffJaccard, q, cJ, 0.7, 0.7},
+		{"cutoff-jaccard drifted δ", CutoffJaccard, q, cJ, driftedDelta, 0.7},
+		{"threshold-jaccard exact δ", ThresholdJaccard, q, cJ, 0.7, 1},
+		{"threshold-jaccard drifted δ", ThresholdJaccard, q, cJ, driftedDelta, 1},
+		{"cutoff-f1 exact δ", CutoffF1, q2, cF, 0.75, 0.75},
+		{"cutoff-f1 drifted δ", CutoffF1, q2, cF, driftedThreeQuarters, 0.75},
+		{"threshold-f1 exact δ", ThresholdF1, q2, cF, 0.75, 1},
+		{"threshold-f1 drifted δ", ThresholdF1, q2, cF, driftedThreeQuarters, 1},
+		{"perfect-recall exact δ", PerfectRecall, q2, cP, 0.75, 1},
+		{"perfect-recall drifted δ", PerfectRecall, q2, cP, driftedThreeQuarters, 1},
+		{"exact equal sets", Exact, q, q.Clone(), 1, 1},
+		{"exact subset is not equal", Exact, q2, cF, 1, 0},
+	}
+	for _, c := range cases {
+		if got := Score(c.v, c.q, c.c, c.delta); !Eq(got, c.want) {
+			t.Errorf("%s: Score = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	// Just below the tolerance band the cover must still be rejected.
+	for _, v := range []Variant{CutoffJaccard, ThresholdJaccard} {
+		if got := Score(v, q, cJ, 0.7+1e-6); got != 0 {
+			t.Errorf("%s: Score at δ clearly above similarity = %v, want 0", v, got)
+		}
+	}
+	if got := Score(ThresholdF1, q2, cF, math.Nextafter(0.75, 1)+Eps*2); got != 0 {
+		t.Errorf("threshold-f1 above band: Score = %v, want 0", got)
+	}
+}
+
+// TestCoversAtDelta mirrors the paper's cover terminology: S(q,C) positive
+// exactly when the raw similarity reaches δ.
+func TestCoversAtDelta(t *testing.T) {
+	q := intset.Range(0, 10)
+	c := intset.Range(0, 7)
+	for _, v := range []Variant{CutoffJaccard, ThresholdJaccard} {
+		if !Covers(v, q, c, 0.7) {
+			t.Errorf("%s: J == δ must cover", v)
+		}
+		if Covers(v, q, c, 0.71) {
+			t.Errorf("%s: J < δ must not cover", v)
+		}
+	}
+}

@@ -154,27 +154,27 @@ func Raw(v Variant, q, c intset.Set) float64 {
 func Score(v Variant, q, c intset.Set, delta float64) float64 {
 	switch v {
 	case CutoffJaccard:
-		if j := Jaccard(q, c); j >= delta {
+		if j := Jaccard(q, c); AtLeast(j, delta) {
 			return j
 		}
 		return 0
 	case ThresholdJaccard:
-		if Jaccard(q, c) >= delta {
+		if AtLeast(Jaccard(q, c), delta) {
 			return 1
 		}
 		return 0
 	case CutoffF1:
-		if f := F1(q, c); f >= delta {
+		if f := F1(q, c); AtLeast(f, delta) {
 			return f
 		}
 		return 0
 	case ThresholdF1:
-		if F1(q, c) >= delta {
+		if AtLeast(F1(q, c), delta) {
 			return 1
 		}
 		return 0
 	case PerfectRecall:
-		if q.SubsetOf(c) && Precision(q, c) >= delta {
+		if q.SubsetOf(c) && AtLeast(Precision(q, c), delta) {
 			return 1
 		}
 		return 0
