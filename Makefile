@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fmt fuzz bench
+.PHONY: all build test race lint fmt fuzz bench scale-smoke
 
 all: build lint test
 
@@ -27,9 +27,17 @@ fmt:
 
 # Fuzz the Section-2 tree invariants; FUZZTIME=5m make fuzz for a deep run.
 fuzz:
-	for target in FuzzIntset FuzzCTCRBuild FuzzCCTBuild; do \
+	for target in FuzzIntset FuzzCTCRBuild FuzzCCTBuild FuzzCCTBuildLarge; do \
 		$(GO) test ./internal/invariant/ -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+
+# The past-the-ceiling CCT run: a 50k-set synthetic build through the
+# scaled clustering strategies plus their micro-benchmarks. SCALEFLAGS=-short
+# shrinks the instances to the cluster.MaxPoints+1 boundary.
+SCALEFLAGS ?=
+scale-smoke:
+	$(GO) test $(SCALEFLAGS) -bench '^BenchmarkCCTScale$$' -benchtime=1x -benchmem -run '^$$' .
+	$(GO) test $(SCALEFLAGS) -bench 'LargeN$$' -benchtime=1x -benchmem -run '^$$' ./internal/cluster/

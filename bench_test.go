@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"testing"
 
+	"categorytree/internal/cct"
+	"categorytree/internal/cluster"
 	"categorytree/internal/dataset"
 	"categorytree/internal/experiments"
 	"categorytree/internal/oct"
@@ -161,6 +163,32 @@ func BenchmarkCCTBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := BuildCCT(inst, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCCTScale is the past-the-ceiling acceptance benchmark: a full
+// CCT build over the 50,000-set synthetic scale instance through the auto
+// strategy, which must route around the exact path's O(n²) distance matrix
+// (a 50k matrix alone would be 20 GB — watch bytes/op stay far below n²).
+// -short shrinks the instance to the cluster.MaxPoints+1 boundary, the
+// smallest size where the scaled path engages.
+func BenchmarkCCTScale(b *testing.B) {
+	n := 50000
+	if testing.Short() {
+		n = cluster.MaxPoints + 1
+	}
+	inst := experiments.SyntheticScale(1, n)
+	cfg := Config{Variant: sim.ThresholdJaccard, Delta: 0.6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cct.Build(inst, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Timings.Cluster.Milliseconds()), "cluster-ms")
 		}
 	}
 }

@@ -25,6 +25,13 @@ type buildRequest struct {
 	Variant string `json:"variant"`
 	// Delta overrides the server's threshold δ (0 keeps the default).
 	Delta float64 `json:"delta"`
+	// ClusterStrategy selects CCT's clustering path: "auto" (default),
+	// "exact", "sampled", or "approx". Ignored by CTCR.
+	ClusterStrategy string `json:"cluster_strategy"`
+	// ClusterSampleSize and ClusterNeighbors tune the sampled/approx
+	// strategies (0 keeps the cluster package defaults).
+	ClusterSampleSize int `json:"cluster_sample_size"`
+	ClusterNeighbors  int `json:"cluster_neighbors"`
 	// Trace requests a Chrome trace_event JSON of the build's stages in the
 	// response.
 	Trace bool `json:"trace"`
@@ -93,6 +100,18 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if req.Delta != 0 {
 		cfg.Delta = req.Delta
 	}
+	strategy, err := oct.ParseClusterStrategy(req.ClusterStrategy)
+	if err != nil {
+		http.Error(w, "octserve: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg.ClusterStrategy = strategy
+	if req.ClusterSampleSize < 0 || req.ClusterNeighbors < 0 {
+		http.Error(w, "octserve: cluster_sample_size and cluster_neighbors must be non-negative", http.StatusBadRequest)
+		return
+	}
+	cfg.ClusterSampleSize = req.ClusterSampleSize
+	cfg.ClusterNeighbors = req.ClusterNeighbors
 
 	// Request-scoped observability: a fresh registry (and recorder, when a
 	// trace was requested) rides the request context through the pipeline.

@@ -98,6 +98,30 @@ func TestBuildEndpointValidation(t *testing.T) {
 	}
 }
 
+// TestBuildEndpointClusterStrategy covers the /build cluster_strategy knob:
+// a named strategy routes CCT's clustering stage (visible in the
+// request-scoped stage timers), an unknown one is a 400, and negative
+// tuning knobs are rejected before the build starts.
+func TestBuildEndpointClusterStrategy(t *testing.T) {
+	s := testServer(t)
+	resp := decodeBuild(t, postBuild(t, s, `{"algorithm":"cct","cluster_strategy":"sampled","cluster_sample_size":1}`))
+	if resp.Algorithm != "cct" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Stages.Timers["cluster.sampled"].Count != 1 {
+		t.Fatalf("sampled strategy did not run the sampled clusterer: %+v", resp.Stages.Timers)
+	}
+	for _, body := range []string{
+		`{"algorithm":"cct","cluster_strategy":"nope"}`,
+		`{"algorithm":"cct","cluster_sample_size":-1}`,
+		`{"algorithm":"cct","cluster_neighbors":-1}`,
+	} {
+		if rec := postBuild(t, s, body); rec.Code != 400 {
+			t.Fatalf("%s: status %d, want 400", body, rec.Code)
+		}
+	}
+}
+
 // instanceJSON builds an n-set instance with pairwise-disjoint sets.
 func instanceJSON(t *testing.T, n int) string {
 	t.Helper()

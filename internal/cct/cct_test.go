@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"categorytree/internal/cluster"
 	"categorytree/internal/intset"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
@@ -179,5 +180,76 @@ func TestBuildDeterministic(t *testing.T) {
 	}
 	if a.Tree.Score(inst, cfg) != b.Tree.Score(inst, cfg) {
 		t.Fatal("non-deterministic score")
+	}
+}
+
+// groupedInstance builds n small sets drawn from per-group item pools — the
+// shape of the boundary-scale tests: block-structured similarity, tiny
+// sets, and a universe far smaller than n so assignment stays fast.
+func groupedInstance(r *xrand.RNG, n int) *oct.Instance {
+	const groupSize, poolSize = 16, 8
+	groups := (n + groupSize - 1) / groupSize
+	inst := &oct.Instance{Universe: groups * poolSize}
+	for k := 0; k < n; k++ {
+		base := (k / groupSize) * poolSize
+		size := 1 + r.Intn(3)
+		idx := r.SampleK(poolSize, size)
+		items := make([]intset.Item, size)
+		for i2, v := range idx {
+			items[i2] = intset.Item(base + v)
+		}
+		inst.Sets = append(inst.Sets, oct.InputSet{Items: intset.New(items...), Weight: 1 + r.Float64()})
+	}
+	return inst
+}
+
+// TestAutoScalesPastMaxPoints pins the boundary contract of the scaled
+// clustering paths: at cluster.MaxPoints+1 sets the exact strategy still
+// refuses, while the default auto strategy routes around the O(n²) matrix
+// and builds a valid tree over every set.
+func TestAutoScalesPastMaxPoints(t *testing.T) {
+	n := cluster.MaxPoints + 1
+	inst := groupedInstance(xrand.New(4), n)
+	cfg := oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.7, ClusterStrategy: oct.ClusterExact}
+	if _, err := Build(inst, cfg); err == nil {
+		t.Fatal("exact strategy should still refuse past cluster.MaxPoints")
+	}
+	cfg.ClusterStrategy = oct.ClusterAuto
+	res, err := Build(inst, cfg)
+	if err != nil {
+		t.Fatalf("auto strategy at MaxPoints+1: %v", err)
+	}
+	if res.Dendrogram.Leaves != n {
+		t.Fatalf("dendrogram has %d leaves, want %d", res.Dendrogram.Leaves, n)
+	}
+	if err := res.Tree.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterStrategiesAgreeOnSmallInput: below the matrix bound every
+// strategy resolves to the exact NN-chain (auto/approx by fallback, sampled
+// because k ≥ n), so all four must build the same tree.
+func TestClusterStrategiesAgreeOnSmallInput(t *testing.T) {
+	inst := randomInstance(xrand.New(11), 20, 30)
+	base := oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.7}
+	ref, err := Build(inst, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refScore := ref.Tree.Score(inst, base)
+	for _, s := range []oct.ClusterStrategy{oct.ClusterExact, oct.ClusterSampled, oct.ClusterApprox} {
+		cfg := base
+		cfg.ClusterStrategy = s
+		res, err := Build(inst, cfg)
+		if err != nil {
+			t.Fatalf("strategy %q: %v", s, err)
+		}
+		if got := res.Tree.Score(inst, cfg); got != refScore {
+			t.Fatalf("strategy %q score %v, auto score %v", s, got, refScore)
+		}
+		if sa, sb := ref.Tree.ComputeStats(), res.Tree.ComputeStats(); sa != sb {
+			t.Fatalf("strategy %q stats %+v, auto stats %+v", s, sb, sa)
+		}
 	}
 }

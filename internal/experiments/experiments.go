@@ -21,9 +21,11 @@ import (
 
 	"categorytree/internal/baseline"
 	"categorytree/internal/cct"
+	"categorytree/internal/cluster"
 	"categorytree/internal/ctcr"
 	"categorytree/internal/dataset"
 	"categorytree/internal/facet"
+	"categorytree/internal/intset"
 	"categorytree/internal/metrics"
 	"categorytree/internal/oct"
 	"categorytree/internal/preprocess"
@@ -633,6 +635,76 @@ func Facet(ctx context.Context, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// SyntheticScale generates the clustered instance of the "scale"
+// experiment: n small sets drawn from per-group item pools, so similarity
+// is block-structured (realistic for query logs, where near-duplicate
+// queries cluster) and the universe stays far below n (tree construction
+// cost is dominated by clustering, the stage under test). Deterministic in
+// (seed, n).
+func SyntheticScale(seed int64, n int) *oct.Instance {
+	rng := xrand.New(seed)
+	const groupSize, poolSize = 64, 12
+	groups := (n + groupSize - 1) / groupSize
+	inst := &oct.Instance{Universe: groups * poolSize}
+	for k := 0; k < n; k++ {
+		base := (k / groupSize) * poolSize
+		size := 2 + rng.Intn(4)
+		items := make([]intset.Item, size)
+		for i, v := range rng.SampleK(poolSize, size) {
+			items[i] = intset.Item(base + v)
+		}
+		inst.Sets = append(inst.Sets, oct.InputSet{Items: intset.New(items...), Weight: 1 + rng.Float64()*9})
+	}
+	return inst
+}
+
+// Scale ("scale") measures CCT past the exact clusterer's MaxPoints
+// ceiling: a synthetic instance of 50000×Scale sets (at least 1000) built
+// under each applicable cluster strategy, reporting stage times and the
+// normalized score. At paper scale (Scale 1, 50k sets) only the scaled
+// strategies can run at all — the exact row appears only when the instance
+// still fits the matrix bound.
+func Scale(ctx context.Context, opts Options) (*Result, error) {
+	n := int(50000 * opts.Scale)
+	if n < 1000 {
+		n = 1000
+	}
+	inst := SyntheticScale(opts.Seed, n)
+	res := &Result{
+		ID:     "scale",
+		Title:  fmt.Sprintf("CCT past the %d-point clustering ceiling (%d synthetic sets)", cluster.MaxPoints, n),
+		Header: []string{"strategy", "sets", "categories", "cluster", "total", "score"},
+	}
+	strategies := []oct.ClusterStrategy{oct.ClusterAuto, oct.ClusterSampled, oct.ClusterApprox}
+	if n <= cluster.MaxPoints {
+		strategies = append(strategies, oct.ClusterExact)
+	}
+	for _, s := range strategies {
+		cfg := oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.6, ClusterStrategy: s}
+		cres, err := cct.BuildContext(ctx, inst, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scale %q: %w", s, err)
+		}
+		name := string(s)
+		if s == oct.ClusterAuto {
+			name = "auto"
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			fmt.Sprint(inst.N()),
+			fmt.Sprint(cres.Tree.Len()),
+			cres.Timings.Cluster.Round(time.Millisecond).String(),
+			cres.Timings.Total.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3f", scoreOf(cres.Tree, inst, cfg)),
+		})
+	}
+	if n > cluster.MaxPoints {
+		res.Notes = append(res.Notes, fmt.Sprintf("exact strategy omitted: %d sets exceed cluster.MaxPoints = %d (it would refuse)", n, cluster.MaxPoints))
+	}
+	res.Notes = append(res.Notes, "paper-scale runs (dataset E) need Scale 1: 50k sets, feasible only through the sampled/approx strategies")
+	return res, nil
+}
+
 // Registry maps experiment IDs to drivers. Drivers take a context so
 // callers can scope metrics (obs.WithRegistry), capture traces
 // (trace.WithRecorder), or cancel long sweeps.
@@ -647,6 +719,7 @@ var Registry = map[string]func(context.Context, Options) (*Result, error){
 	"fig8f":     Fig8f,
 	"fig8g":     Fig8g,
 	"fig8h":     Fig8h,
+	"scale":     Scale,
 	"traintest": TrainTest,
 	"table1":    Table1,
 	"cohesion":  Cohesion,

@@ -15,7 +15,7 @@ func tinyOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "merge", "table1", "traintest"}
+	want := []string{"ablation", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "merge", "scale", "table1", "traintest"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -177,6 +177,39 @@ func TestAblationMechanismsMatter(t *testing.T) {
 	fullTJ := score("full CTCR", "threshold-jaccard")
 	if g := score("greedy MIS only", "threshold-jaccard"); g > fullTJ+1e-9 {
 		t.Fatalf("greedy MIS should not beat exact: %v vs %v", g, fullTJ)
+	}
+}
+
+// TestScaleRuns drives the scale experiment at test size (1000 sets): small
+// enough that the exact strategy still applies, so all four rows appear and
+// the scaled strategies can be sanity-compared against the exact score.
+func TestScaleRuns(t *testing.T) {
+	res, err := Scale(context.Background(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want auto/sampled/approx/exact rows at test size, got %v", res.Rows)
+	}
+	scores := map[string]float64{}
+	for _, r := range res.Rows {
+		v, err := strconv.ParseFloat(r[5], 64)
+		if err != nil {
+			t.Fatalf("score %q: %v", r[5], err)
+		}
+		if v <= 0 || v > 1 {
+			t.Fatalf("strategy %s: normalized score %v outside (0, 1]", r[0], v)
+		}
+		scores[r[0]] = v
+	}
+	// auto and approx resolve to the exact NN-chain at this size.
+	if scores["auto"] != scores["exact"] || scores["approx"] != scores["exact"] {
+		t.Fatalf("auto/approx should match exact below the matrix bound: %v", scores)
+	}
+	// Sampling (512 representatives over 1000 points) is approximate; it
+	// must stay within striking distance of the exact tree.
+	if scores["sampled"] < scores["exact"]-0.2 {
+		t.Fatalf("sampled score %v collapsed vs exact %v", scores["sampled"], scores["exact"])
 	}
 }
 

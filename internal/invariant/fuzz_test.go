@@ -4,11 +4,13 @@ import (
 	"testing"
 
 	"categorytree/internal/cct"
+	"categorytree/internal/cluster"
 	"categorytree/internal/ctcr"
 	"categorytree/internal/intset"
 	"categorytree/internal/invariant"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
+	"categorytree/internal/xrand"
 )
 
 // decodeInstance derives a small but fully general OCT instance from fuzz
@@ -98,6 +100,82 @@ func FuzzCCTBuild(f *testing.F) {
 		res, err := cct.Build(inst, cfg)
 		if err != nil {
 			t.Fatalf("cct.Build on valid instance: %v", err)
+		}
+		if err := invariant.Check(res.Tree, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := invariant.ScoreConsistency(res.Tree, inst, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// decodeLargeInstance derives a larger grouped instance plus a scaled
+// clustering strategy from fuzz bytes: [size, strategy, seed, shape]. The
+// 0xFF size byte is the boundary class — cluster.MaxPoints+1 sets, the
+// first count the exact path refuses — kept affordable by tiny sets over
+// per-group item pools; other sizes land in [16, 526]. The strategy byte
+// cycles sampled/approx/auto, with small sample/neighbor knobs so the
+// genuinely approximate code paths run (defaults would fall back to exact
+// at these sizes).
+func decodeLargeInstance(data []byte) (*oct.Instance, oct.Config, bool) {
+	if len(data) < 4 {
+		return nil, oct.Config{}, false
+	}
+	n := 16 + int(data[0])*2
+	if data[0] == 0xFF {
+		n = cluster.MaxPoints + 1
+	}
+	strategy := []oct.ClusterStrategy{oct.ClusterSampled, oct.ClusterApprox, oct.ClusterAuto}[int(data[1])%3]
+	rng := xrand.New(int64(data[2]) + 1)
+	const groupSize, poolSize = 16, 8
+	groups := (n + groupSize - 1) / groupSize
+	inst := &oct.Instance{Universe: groups * poolSize}
+	for k := 0; k < n; k++ {
+		base := (k / groupSize) * poolSize
+		size := 1 + rng.Intn(3)
+		items := make([]intset.Item, size)
+		for i, v := range rng.SampleK(poolSize, size) {
+			items[i] = intset.Item(base + v)
+		}
+		inst.Sets = append(inst.Sets, oct.InputSet{Items: intset.New(items...), Weight: 1 + rng.Float64()})
+	}
+	cfg := oct.Config{
+		Variant:           sim.Variant(int(data[3]) % 6),
+		Delta:             float64(5+int(data[3])%6) / 10,
+		ClusterStrategy:   strategy,
+		ClusterSampleSize: 8 + int(data[2])%64,
+		ClusterNeighbors:  2 + int(data[2])%8,
+	}
+	if inst.Validate() != nil || cfg.Validate() != nil {
+		return nil, oct.Config{}, false
+	}
+	return inst, cfg, true
+}
+
+// FuzzCCTBuildLarge drives CCT through the scaled clustering strategies
+// (sampled representatives, kNN-graph approximate linkage, auto) over
+// grouped instances large enough that the approximations genuinely engage —
+// including the cluster.MaxPoints+1 boundary — and asserts the same
+// structural and scoring invariants as FuzzCCTBuild.
+func FuzzCCTBuildLarge(f *testing.F) {
+	for _, seed := range [][]byte{
+		{40, 0, 3, 1},   // 96 sets through real sampling (k < n)
+		{40, 1, 5, 2},   // 96 sets, approx strategy exercising its exact fallback
+		{200, 2, 7, 0},  // 416 sets, auto
+		{0xFF, 2, 1, 1}, // MaxPoints+1 boundary through auto → kNN graph
+		{0xFF, 0, 2, 4}, // MaxPoints+1 boundary through sampled
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, cfg, ok := decodeLargeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		res, err := cct.Build(inst, cfg)
+		if err != nil {
+			t.Fatalf("cct.Build (strategy %q) on valid instance: %v", cfg.ClusterStrategy, err)
 		}
 		if err := invariant.Check(res.Tree, cfg); err != nil {
 			t.Fatal(err)

@@ -61,29 +61,49 @@ func Check(t *tree.Tree, cfg oct.Config) error {
 	return t.Validate(cfg)
 }
 
+// naiveCheckLimit bounds how much of the check runs through the naive
+// full-walk scorer: instances up to this size are cross-checked set by set
+// against tree.BestCover (O(sets × categories)); larger ones — the scaled
+// clustering paths produce trees with tens of thousands of categories — use
+// the posting-indexed tree.Scorer throughout and naive-check only a sample.
+const naiveCheckLimit = 512
+
 // ScoreConsistency verifies the objective bookkeeping of t over inst:
 // every per-set best-cover similarity lies in [0, 1], Score equals the sum
-// of weighted best covers, and NormalizedScore is that sum over the total
-// weight, inside [0, 1]. Comparisons use the sim package's Eps tolerance
-// (scaled by the number of terms for the sums).
+// of weighted best covers, NormalizedScore is that sum over the total
+// weight, inside [0, 1], and the indexed scorer (tree.Scorer) agrees with
+// the naive full-walk BestCover — on every set for small instances, on a
+// deterministic sample beyond naiveCheckLimit. Comparisons use the sim
+// package's Eps tolerance (scaled by the number of terms for the sums).
 func ScoreConsistency(t *tree.Tree, inst *oct.Instance, cfg oct.Config) error {
+	sc := tree.NewScorer(t)
+	perSet := sc.PerSetScores(inst, cfg)
+	stride := 1
+	if inst.N() > naiveCheckLimit {
+		stride = inst.N() / 64
+	}
 	sumTol := sim.Eps * float64(1+inst.N())
 	sum := 0.0
 	for i, s := range inst.Sets {
-		_, sc := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s))
-		if sc < 0 || sc > 1+sim.Eps {
-			return fmt.Errorf("invariant: set %d best-cover score %v outside [0, 1]", i, sc)
+		v := perSet[i]
+		if v < 0 || v > 1+sim.Eps {
+			return fmt.Errorf("invariant: set %d best-cover score %v outside [0, 1]", i, v)
 		}
-		if cfg.Variant.Binary() && sc > 0 && !sim.Eq(sc, 1) {
-			return fmt.Errorf("invariant: set %d scored %v under binary variant %v", i, sc, cfg.Variant)
+		if cfg.Variant.Binary() && v > 0 && !sim.Eq(v, 1) {
+			return fmt.Errorf("invariant: set %d scored %v under binary variant %v", i, v, cfg.Variant)
 		}
-		sum += s.Weight * sc
+		if i%stride == 0 {
+			if _, naive := t.BestCover(cfg.Variant, s.Items, cfg.Delta0(s)); !sim.Eq(naive, v) {
+				return fmt.Errorf("invariant: set %d naive best cover %v != indexed best cover %v", i, naive, v)
+			}
+		}
+		sum += s.Weight * v
 	}
-	score := t.Score(inst, cfg)
+	score := sc.Score(inst, cfg)
 	if diff := score - sum; diff > sumTol || diff < -sumTol {
 		return fmt.Errorf("invariant: Score %v != Σ W(q)·bestCover(q) = %v", score, sum)
 	}
-	norm := t.NormalizedScore(inst, cfg)
+	norm := sc.NormalizedScore(inst, cfg)
 	tw := inst.TotalWeight()
 	if tw == 0 {
 		if norm != 0 {
