@@ -21,10 +21,12 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"categorytree/internal/experiments"
 	"categorytree/internal/obs"
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/obs/trace"
 )
 
@@ -36,9 +38,11 @@ func main() {
 		repeats   = flag.Int("repeats", 5, "train/test split repetitions (paper: 50)")
 		seed      = flag.Int64("seed", 1, "randomness seed")
 		breakdown = flag.Bool("breakdown", true, "print the per-stage obs breakdown after each experiment")
+		progress  = flag.Bool("progress", false, "print live pipeline stage progress to stderr")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of every pipeline stage to this file (load in chrome://tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	opts := experiments.Options{
 		Scale:            *scale,
@@ -48,6 +52,9 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *progress {
+		ctx = obs.WithProgress(ctx, newProgressPrinter(os.Stderr))
+	}
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.New()
@@ -89,6 +96,36 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, len(rec.Events()))
+	}
+}
+
+// progressPrinter writes pipeline ProgressEvents to w, throttled per stage so
+// stride-1 stages (one event per clustering merge) don't flood the terminal:
+// a stage line is printed when its done-fraction advances by at least 10% or
+// the stage completes.
+type progressPrinter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	last map[string]int64 // stage -> done at last print
+}
+
+func newProgressPrinter(w io.Writer) *progressPrinter {
+	return &progressPrinter{w: w, last: make(map[string]int64)}
+}
+
+// Report implements obs.Progress.
+func (p *progressPrinter) Report(ev obs.ProgressEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prev, seen := p.last[ev.Stage]
+	if seen && ev.Done < ev.Total && ev.Total > 0 && (ev.Done-prev)*10 < ev.Total {
+		return
+	}
+	p.last[ev.Stage] = ev.Done
+	if ev.Total > 0 {
+		fmt.Fprintf(p.w, "progress %-28s %d/%d\n", ev.Stage, ev.Done, ev.Total)
+	} else {
+		fmt.Fprintf(p.w, "progress %-28s %d\n", ev.Stage, ev.Done)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/tree"
 	"categorytree/internal/treediff"
 )
@@ -22,6 +23,7 @@ func main() {
 		matchAt = flag.Float64("match", 0.5, "minimum Jaccard for two categories to count as the same")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	oldT := load(*oldPath)
 	newT := load(*newPath)

@@ -14,6 +14,7 @@ import (
 
 	"categorytree"
 	"categorytree/internal/metrics"
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -29,6 +30,7 @@ func main() {
 		all      = flag.Bool("all-variants", false, "score under every variant")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	f, err := os.Open(*in)
 	fatal(err)

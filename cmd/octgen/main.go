@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"categorytree/internal/dataset"
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/sim"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		titles  = flag.String("titles", "", "optional output path for product titles (one per line)")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	spec, err := dataset.ByName(*name)
 	fatal(err)

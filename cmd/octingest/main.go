@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"categorytree/internal/ingest"
+	olog "categorytree/internal/obs/log"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		out       = flag.String("out", "instance.json", "output instance path")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	pf, err := os.Open(*products)
 	fatal(err)

@@ -22,6 +22,7 @@ import (
 
 	"categorytree/internal/lint"
 	"categorytree/internal/lint/rules"
+	olog "categorytree/internal/obs/log"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		workDir = flag.String("C", ".", "directory to resolve package patterns from")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	analyzers := rules.All()
 	if *list {

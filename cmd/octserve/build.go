@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"categorytree/internal/cct"
 	"categorytree/internal/ctcr"
@@ -39,8 +43,9 @@ type buildRequest struct {
 	Instance json.RawMessage `json:"instance"`
 }
 
-// buildResponse is the POST /build reply: the constructed tree plus the
-// request-scoped stage breakdown (and the trace, when asked for).
+// buildResponse is the build reply (sync body, or the async job's result):
+// the constructed tree plus the request-scoped stage breakdown (and the
+// trace, when asked for).
 type buildResponse struct {
 	Algorithm  string          `json:"algorithm"`
 	Variant    string          `json:"variant"`
@@ -54,23 +59,29 @@ type buildResponse struct {
 	Trace      json.RawMessage `json:"trace,omitempty"`
 }
 
-// handleBuild runs a full pipeline build per request. Each request gets its
-// own obs registry via the request context, so stage metrics of concurrent
-// builds never bleed into one another (the server-wide registry still sees
-// the endpoint's request counter and latency through instrument). The
-// request context also carries cancellation: a dropped connection aborts the
-// pipeline mid-stage.
-func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "octserve: POST only", http.StatusMethodNotAllowed)
-		return
-	}
+// buildSpec is a validated build request, ready to run.
+type buildSpec struct {
+	algorithm string
+	cfg       oct.Config
+	inst      *oct.Instance
+	trace     bool
+}
+
+// httpError carries a status code alongside the message.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// parseBuildSpec validates the request body into a runnable spec. Errors are
+// *httpError with the right client status.
+func (s *server) parseBuildSpec(r *http.Request) (buildSpec, error) {
 	var req buildRequest
 	if r.Body != nil {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
-			http.Error(w, "octserve: bad request body: "+err.Error(), http.StatusBadRequest)
-			return
+			return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: bad request body: " + err.Error()}
 		}
 	}
 
@@ -79,21 +90,18 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		var err error
 		inst, err = oct.ReadJSON(bytes.NewReader(req.Instance))
 		if err != nil {
-			http.Error(w, "octserve: bad instance: "+err.Error(), http.StatusBadRequest)
-			return
+			return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: bad instance: " + err.Error()}
 		}
 	}
 	if inst == nil {
-		http.Error(w, "octserve: no instance: start with -in or inline one in the request", http.StatusBadRequest)
-		return
+		return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: no instance: start with -in or inline one in the request"}
 	}
 
 	cfg := s.cfg
 	if req.Variant != "" {
 		v, err := sim.ParseVariant(req.Variant)
 		if err != nil {
-			http.Error(w, "octserve: "+err.Error(), http.StatusBadRequest)
-			return
+			return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: " + err.Error()}
 		}
 		cfg.Variant = v
 	}
@@ -102,68 +110,252 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	strategy, err := oct.ParseClusterStrategy(req.ClusterStrategy)
 	if err != nil {
-		http.Error(w, "octserve: "+err.Error(), http.StatusBadRequest)
-		return
+		return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: " + err.Error()}
 	}
 	cfg.ClusterStrategy = strategy
 	if req.ClusterSampleSize < 0 || req.ClusterNeighbors < 0 {
-		http.Error(w, "octserve: cluster_sample_size and cluster_neighbors must be non-negative", http.StatusBadRequest)
-		return
+		return buildSpec{}, &httpError{http.StatusBadRequest, "octserve: cluster_sample_size and cluster_neighbors must be non-negative"}
 	}
 	cfg.ClusterSampleSize = req.ClusterSampleSize
 	cfg.ClusterNeighbors = req.ClusterNeighbors
 
-	// Request-scoped observability: a fresh registry (and recorder, when a
-	// trace was requested) rides the request context through the pipeline.
-	reg := obs.NewRegistry()
-	ctx := obs.WithRegistry(r.Context(), reg)
+	switch req.Algorithm {
+	case "", "ctcr":
+		req.Algorithm = "ctcr"
+	case "cct":
+	default:
+		return buildSpec{}, &httpError{http.StatusBadRequest, fmt.Sprintf("octserve: unknown algorithm %q (ctcr, cct)", req.Algorithm)}
+	}
+	return buildSpec{algorithm: req.Algorithm, cfg: cfg, inst: inst, trace: req.Trace}, nil
+}
+
+// runBuild executes the pipeline for spec with reg as the request-scoped
+// registry (assumed already on ctx via obs.WithRegistry). It is the shared
+// core of the sync and async paths.
+func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildResponse, error) {
 	var rec *trace.Recorder
-	if req.Trace {
+	if spec.trace {
 		rec = trace.New()
 		ctx = trace.WithRecorder(ctx, rec)
 	}
 
-	resp := buildResponse{Variant: cfg.Variant.String(), Delta: cfg.Delta, Sets: inst.N()}
+	resp := &buildResponse{
+		Algorithm: spec.algorithm,
+		Variant:   spec.cfg.Variant.String(),
+		Delta:     spec.cfg.Delta,
+		Sets:      spec.inst.N(),
+	}
 	var built *tree.Tree
-	switch req.Algorithm {
-	case "", "ctcr":
-		resp.Algorithm = "ctcr"
-		res, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
+	switch spec.algorithm {
+	case "ctcr":
+		res, err := ctcr.BuildContext(ctx, spec.inst, spec.cfg, ctcr.DefaultOptions())
 		if err != nil {
-			http.Error(w, "octserve: "+err.Error(), http.StatusInternalServerError)
-			return
+			return nil, err
 		}
 		built = res.Tree
 		resp.Selected = len(res.Selected)
 		resp.MISOptimal = &res.MIS.Optimal
 	case "cct":
-		resp.Algorithm = "cct"
-		res, err := cct.BuildContext(ctx, inst, cfg)
+		res, err := cct.BuildContext(ctx, spec.inst, spec.cfg)
 		if err != nil {
-			http.Error(w, "octserve: "+err.Error(), http.StatusInternalServerError)
-			return
+			return nil, err
 		}
 		built = res.Tree
-	default:
-		http.Error(w, fmt.Sprintf("octserve: unknown algorithm %q (ctcr, cct)", req.Algorithm), http.StatusBadRequest)
-		return
 	}
 	resp.Categories = built.Len()
 	resp.Stages = reg.Snapshot()
 
 	var buf bytes.Buffer
 	if err := built.WriteJSON(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return nil, err
 	}
 	resp.Tree = buf.Bytes()
 	if rec != nil {
 		var tb bytes.Buffer
 		if err := rec.WriteJSON(&tb); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return nil, err
 		}
 		resp.Trace = tb.Bytes()
 	}
+	return resp, nil
+}
+
+// handleBuild runs a full pipeline build per request. Each request gets its
+// own obs registry via the request context, so stage metrics of concurrent
+// builds never bleed into one another (the server-wide registry still sees
+// the endpoint's request counter and latency through instrument).
+//
+// Synchronous requests run under an adaptive deadline derived from the
+// endpoint's latency histogram; ?async=1 instead registers a job, returns
+// 202 with its id, and runs the build on the server's base context — poll
+// GET /builds/{id} or stream GET /builds/{id}/events.
+func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "octserve: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	spec, err := s.parseBuildSpec(r)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			http.Error(w, he.msg, he.code)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+
+	switch r.URL.Query().Get("async") {
+	case "1", "true":
+		s.startAsyncBuild(w, spec)
+		return
+	}
+
+	// Request-scoped observability: a fresh registry rides the request
+	// context through the pipeline. The deadline is histogram-informed:
+	// clamp(3×p99) of this endpoint's own latency once enough builds ran.
+	reg := obs.NewRegistry()
+	deadline := s.timeout.deadline()
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	ctx = obs.WithRegistry(ctx, reg)
+
+	resp, err := runBuild(ctx, spec, reg)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, fmt.Sprintf("octserve: build exceeded the %s deadline (use ?async=1 for long builds)", deadline), http.StatusGatewayTimeout)
+		default:
+			http.Error(w, "octserve: "+err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	writeJSON(w, resp)
+}
+
+// startAsyncBuild registers a job and launches the build on the server base
+// context, so it survives the initiating request and dies with the server.
+func (s *server) startAsyncBuild(w http.ResponseWriter, spec buildSpec) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j, err := s.jobs.create(reg, cancel)
+	if err != nil {
+		cancel()
+		// The registry only refuses while every slot is a running build, so a
+		// short retry hint is honest: slots free as soon as one finishes.
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, "octserve: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	ctx = obs.WithRegistry(ctx, reg)
+	ctx = obs.WithProgress(ctx, j)
+	ctx = obs.WithTraceID(ctx, j.id)
+	go s.runJob(ctx, cancel, j, spec)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{
+		"id":     j.id,
+		"state":  jobRunning,
+		"status": "/builds/" + j.id,
+		"events": "/builds/" + j.id + "/events",
+	})
+}
+
+func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, spec buildSpec) {
+	defer cancel()
+	t0 := time.Now()
+	resp, err := runBuild(ctx, spec, j.reg)
+	state := jobDone
+	msg := ""
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		state, msg = jobCanceled, ctx.Err().Error()
+	default:
+		state, msg = jobFailed, err.Error()
+	}
+	j.finish(state, resp, msg)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "build job finished",
+		slog.String("job", j.id),
+		slog.String("algorithm", spec.algorithm),
+		slog.String("state", state),
+		slog.Duration("latency", time.Since(t0)),
+	)
+}
+
+// handleBuildStatus is GET /builds/{id}: job state, live per-stage progress
+// and metrics, and — once terminal — the full build result.
+func (s *server) handleBuildStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "octserve: no such build job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, j.view())
+}
+
+// handleBuildEvents is GET /builds/{id}/events: the job's progress as
+// Server-Sent Events. Each stage update is an `event: progress` with a
+// ProgressEvent JSON body; the stream ends with one `event: done` carrying
+// the terminal state. Subscribing late replays each stage's latest event
+// first, so the stream always reflects the build's full shape.
+func (s *server) handleBuildEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "octserve: no such build job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "octserve: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, replay := j.subscribe()
+	defer j.unsubscribe(ch)
+	send := func(ev obs.ProgressEvent) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		fl.Flush()
+	}
+	for _, ev := range replay {
+		send(ev)
+	}
+	for {
+		select {
+		case ev := <-ch:
+			send(ev)
+			continue
+		case <-r.Context().Done():
+			return
+		case <-j.doneCh:
+		}
+		break
+	}
+	// Terminal: drain whatever the reporter buffered before the job closed,
+	// then emit the final state.
+	for {
+		select {
+		case ev := <-ch:
+			send(ev)
+		default:
+			j.mu.Lock()
+			final := struct {
+				State string `json:"state"`
+				Error string `json:"error,omitempty"`
+			}{State: j.state, Error: j.errMsg}
+			j.mu.Unlock()
+			data, _ := json.Marshal(final)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+	}
 }

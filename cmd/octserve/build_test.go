@@ -89,10 +89,14 @@ func TestBuildEndpointValidation(t *testing.T) {
 		t.Fatalf("bad instance: status %d", rec.Code)
 	}
 
-	noInst, err := newServer(tree.New(nil), nil, "", "threshold-jaccard", 0.6, obs.NewRegistry(), false)
+	noInst, err := newServer(serverOptions{
+		Tree: tree.New(nil), Variant: "threshold-jaccard", Delta: 0.6,
+		Registry: obs.NewRegistry(), Logger: discardLogger(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(noInst.Close)
 	if rec := postBuild(t, noInst, "{}"); rec.Code != 400 {
 		t.Fatalf("no instance: status %d", rec.Code)
 	}

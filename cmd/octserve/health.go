@@ -1,0 +1,114 @@
+package main
+
+import (
+	"net/http"
+	"runtime/metrics"
+
+	"categorytree/internal/obs"
+)
+
+// runtimeSamples maps runtime/metrics samples to obs gauge names. Gauge names
+// use the registry's hierarchical convention; WritePrometheus flattens them
+// under the oct_ prefix (oct_runtime_heap_bytes and friends).
+var runtimeSamples = []struct {
+	metric string
+	gauge  string
+}{
+	{"/memory/classes/heap/objects:bytes", "runtime/heap_bytes"},
+	{"/sched/goroutines:goroutines", "runtime/goroutines"},
+	{"/gc/cycles/total:gc-cycles", "runtime/gc_cycles_total"},
+	{"/gc/pauses:seconds", "runtime/gc_pause_p99_seconds"},
+	{"/sched/latencies:seconds", "runtime/sched_latency_p99_seconds"},
+}
+
+// sampleRuntime reads the runtime/metrics samples above into gauges on reg.
+// It is called on every /metrics scrape (and /readyz), so the gauges are as
+// fresh as the scrape interval with no background goroutine to manage.
+func sampleRuntime(reg *obs.Registry) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.metric
+	}
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		var v float64
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			v = samples[i].Value.Float64()
+		case metrics.KindFloat64Histogram:
+			v = histQuantile(samples[i].Value.Float64Histogram(), 0.99)
+		default:
+			continue // metric unsupported by this runtime; leave the gauge be
+		}
+		reg.Gauge(rs.gauge).Set(v)
+	}
+}
+
+// histQuantile returns an upper bound on the q-quantile of a runtime
+// Float64Histogram (bucket upper-bound semantics, like obs.Histogram).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; report the finite end.
+			hi := h.Buckets[i+1]
+			if hi > 0 && hi != h.Buckets[len(h.Buckets)-1] {
+				return hi
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// readyView is the /readyz body: overall readiness plus the per-check detail
+// that tells an operator which gate failed.
+type readyView struct {
+	Ready       bool `json:"ready"`
+	TreeLoaded  bool `json:"tree_loaded"`
+	JobsRunning int  `json:"jobs_running"`
+	JobCapacity int  `json:"job_capacity"`
+}
+
+// handleReadyz gates traffic: ready means the tree is loaded and the async
+// job registry has headroom. Not-ready is a 503 so load balancers rotate the
+// instance out without killing it (that is /healthz's call).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	running := s.jobs.running()
+	v := readyView{
+		TreeLoaded:  s.tree != nil,
+		JobsRunning: running,
+		JobCapacity: s.jobs.capacity,
+	}
+	v.Ready = v.TreeLoaded && running < s.jobs.capacity
+	if !v.Ready {
+		// Headers must precede WriteHeader; writeJSON's Content-Type would
+		// arrive too late.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, v)
+}

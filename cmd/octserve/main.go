@@ -16,16 +16,25 @@
 //	POST /build              run a full CTCR or CCT build with a
 //	                         request-scoped metrics registry; returns the
 //	                         tree, a per-stage breakdown, and optionally a
-//	                         Chrome trace (also at /api/build)
+//	                         Chrome trace (also at /api/build). The deadline
+//	                         adapts to the endpoint's own latency history
+//	                         (clamp of 3×p99, bounded by -build-timeout).
+//	POST /build?async=1      start the build as a background job: 202 + id
+//	GET /builds/{id}         job status, live stage progress, result when done
+//	GET /builds/{id}/events  job progress streamed as Server-Sent Events
 //	GET /metrics             observability snapshot: per-endpoint request
 //	                         counters and latency histograms, pipeline stage
-//	                         timers, runtime stats (internal/obs); Prometheus
-//	                         text exposition with Accept: text/plain or
-//	                         ?format=prometheus
+//	                         timers, oct_runtime_* gauges (internal/obs);
+//	                         Prometheus text exposition negotiated via Accept
+//	                         or forced with ?format=prometheus
+//	GET /healthz             liveness (always 200 while serving)
+//	GET /readyz              readiness: tree loaded, job registry headroom
 //	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof)
 //
-// The server uses read/write timeouts and shuts down gracefully on SIGINT or
-// SIGTERM, draining in-flight requests for up to 10 seconds.
+// Every request gets a trace id (echoed as X-Trace-Id) and one structured
+// access-log line; -log selects text or JSON log output. The server shuts
+// down gracefully on SIGINT or SIGTERM: in-flight async jobs are canceled
+// through their contexts, then HTTP requests drain for up to 10 seconds.
 package main
 
 import (
@@ -33,28 +42,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
 	"categorytree/internal/tree"
 )
 
 func main() {
 	var (
-		treePath  = flag.String("tree", "tree.json", "tree JSON file")
-		in        = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
-		titles    = flag.String("titles", "", "optional titles file, one per item line")
-		variant   = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
-		delta     = flag.Float64("delta", 0.8, "threshold δ for coverage")
-		addr      = flag.String("addr", "localhost:8080", "listen address")
-		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		treePath     = flag.String("tree", "tree.json", "tree JSON file")
+		in           = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
+		titles       = flag.String("titles", "", "optional titles file, one per item line")
+		variant      = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
+		delta        = flag.Float64("delta", 0.8, "threshold δ for coverage")
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFormat    = flag.String("log", "", "log format: text or json (default OCT_LOG_FORMAT, then text)")
+		maxJobs      = flag.Int("max-jobs", 16, "async build job registry capacity")
+		jobTTL       = flag.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay fetchable")
+		buildTimeout = flag.Duration("build-timeout", 60*time.Second, "static sync /build deadline and upper bound of the adaptive one")
 	)
 	flag.Parse()
+	logger := olog.Setup(*logFormat)
 
 	tf, err := os.Open(*treePath)
 	fatal(err)
@@ -71,7 +86,18 @@ func main() {
 		fatal(f.Close())
 	}
 
-	srv, err := newServer(tr, inst, *titles, *variant, *delta, nil, *pprofFlag)
+	srv, err := newServer(serverOptions{
+		Tree:         tr,
+		Instance:     inst,
+		TitlesPath:   *titles,
+		Variant:      *variant,
+		Delta:        *delta,
+		Logger:       logger,
+		EnablePprof:  *pprofFlag,
+		MaxJobs:      *maxJobs,
+		JobTTL:       *jobTTL,
+		BuildTimeout: *buildTimeout,
+	})
 	fatal(err)
 
 	httpSrv := &http.Server{
@@ -79,8 +105,9 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: SSE progress streams outlive any fixed bound; the
+		// sync /build path is bounded by its adaptive deadline instead.
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -88,7 +115,10 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("octserve: browsing %d categories on http://%s/ (metrics at /metrics)", tr.Len(), *addr)
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "serving",
+			slog.Int("categories", tr.Len()),
+			slog.String("addr", *addr),
+		)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -97,7 +127,11 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second ^C kills hard
-		log.Printf("octserve: shutting down")
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "shutting down")
+		// Cancel in-flight async jobs first: their SSE streams end with a
+		// terminal "canceled" event, so the drain below isn't held open by a
+		// long build.
+		srv.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"html"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -16,45 +18,94 @@ import (
 	"categorytree/internal/facet"
 	"categorytree/internal/intset"
 	"categorytree/internal/obs"
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
 )
 
-// server holds the immutable serving state.
-type server struct {
-	tree   *tree.Tree
-	inst   *oct.Instance
-	titles []string
-	cfg    oct.Config
-	mux    *http.ServeMux
-	reg    *obs.Registry
-	start  time.Time
+// serverOptions configures newServer. Zero values are serviceable defaults
+// everywhere but Variant (required, a similarity variant name).
+type serverOptions struct {
+	// Tree is the category tree to serve. It may be nil: the server comes up
+	// not-ready (/readyz 503) and the browsing endpoints answer 503 until a
+	// tree exists — the deploy-then-load pattern.
+	Tree *tree.Tree
+	// Instance enables /api/coverage and default-instance builds.
+	Instance *oct.Instance
+	// TitlesPath optionally maps item ids to display titles, one per line.
+	TitlesPath string
+	// Variant and Delta configure coverage scoring and default builds.
+	Variant string
+	Delta   float64
+	// Registry receives endpoint metrics; nil uses the process default.
+	Registry *obs.Registry
+	// Logger receives the access log and job lifecycle events; nil uses the
+	// process default structured logger.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// MaxJobs bounds the async job registry (0 = 16); JobTTL is how long
+	// finished jobs stay fetchable (0 = 10m).
+	MaxJobs int
+	JobTTL  time.Duration
+	// BuildTimeout is the static sync-/build deadline and the upper clamp of
+	// the adaptive one (0 = 60s).
+	BuildTimeout time.Duration
 }
 
-// newServer wires the handler. titlesPath and inst may be empty/nil. Metrics
-// (per-endpoint request counters and latency histograms, plus whatever the
-// in-process pipeline recorded) land in reg and are served at /metrics; a
-// nil reg uses the process-wide default registry. enablePprof additionally
-// mounts net/http/pprof under /debug/pprof/.
-func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, delta float64, reg *obs.Registry, enablePprof bool) (*server, error) {
-	v, err := sim.ParseVariant(variant)
+// server holds the serving state: the immutable tree/instance plus the async
+// job registry and the adaptive build-timeout controller.
+type server struct {
+	tree    *tree.Tree
+	inst    *oct.Instance
+	titles  []string
+	cfg     oct.Config
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	log     *slog.Logger
+	jobs    *jobRegistry
+	timeout *timeoutController
+	start   time.Time
+
+	// baseCtx parents every async job; closing the server cancels it, which
+	// aborts in-flight builds mid-stage (their jobs end "canceled").
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+// newServer wires the handler. Metrics (per-endpoint request counters and
+// latency histograms, plus whatever the in-process pipeline recorded) land in
+// opts.Registry and are served at /metrics.
+func newServer(opts serverOptions) (*server, error) {
+	v, err := sim.ParseVariant(opts.Variant)
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Registry
 	if reg == nil {
 		reg = obs.Default()
 	}
-	s := &server{
-		tree:  tr,
-		inst:  inst,
-		cfg:   oct.Config{Variant: v, Delta: delta},
-		mux:   http.NewServeMux(),
-		reg:   reg,
-		start: time.Now(),
+	logger := opts.Logger
+	if logger == nil {
+		logger = olog.Default()
 	}
-	if titlesPath != "" {
-		f, err := os.Open(titlesPath)
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		tree:    opts.Tree,
+		inst:    opts.Instance,
+		cfg:     oct.Config{Variant: v, Delta: opts.Delta},
+		mux:     http.NewServeMux(),
+		reg:     reg,
+		log:     logger,
+		jobs:    newJobRegistry(opts.MaxJobs, opts.JobTTL),
+		start:   time.Now(),
+		baseCtx: baseCtx,
+		cancel:  cancel,
+	}
+	s.timeout = newTimeoutController(reg.Histogram("http.build/latency"), opts.BuildTimeout)
+	if opts.TitlesPath != "" {
+		f, err := os.Open(opts.TitlesPath)
 		if err != nil {
 			return nil, fmt.Errorf("octserve: titles: %w", err)
 		}
@@ -76,8 +127,12 @@ func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, de
 	build := s.instrument("build", s.handleBuild)
 	s.mux.HandleFunc("/build", build)
 	s.mux.HandleFunc("/api/build", build)
+	s.mux.HandleFunc("GET /builds/{id}", s.instrument("build_status", s.handleBuildStatus))
+	s.mux.HandleFunc("GET /builds/{id}/events", s.instrument("build_events", s.handleBuildEvents))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-	if enablePprof {
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -87,18 +142,57 @@ func newServer(tr *tree.Tree, inst *oct.Instance, titlesPath, variant string, de
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Close cancels the server's base context, aborting every in-flight async
+// job. Call it before (or instead of) http.Server.Shutdown so long builds do
+// not hold the drain open.
+func (s *server) Close() { s.cancel() }
 
-// statusWriter captures the response status for the error counters.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
+// ServeHTTP implements http.Handler: it assigns the request a trace id,
+// serves it, and emits one structured access-log line.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := newTraceID()
+	ctx := obs.WithTraceID(r.Context(), id)
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Trace-Id", id)
+	rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rec.status),
+		slog.Int64("bytes", rec.bytes),
+		slog.Duration("latency", time.Since(t0)),
+	)
 }
 
-func (w *statusWriter) WriteHeader(code int) {
+// newTraceID returns a fresh request trace id (8 random bytes, hex).
+func newTraceID() string { return randomHexID() }
+
+// responseRecorder captures status and byte count for the access log and the
+// error counters, and forwards Flush so streaming responses (SSE) work
+// through the wrappers.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *responseRecorder) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *responseRecorder) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *responseRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with per-endpoint observability: a request
@@ -113,13 +207,22 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		// Counted on entry so a handler's own snapshot (e.g. /metrics)
 		// includes the request serving it.
 		requests.Inc()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		if sw.status >= 400 {
 			errors.Inc()
 		}
 		latency.Observe(time.Since(t0))
 	}
+}
+
+// requireTree guards browsing endpoints when the server came up treeless.
+func (s *server) requireTree(w http.ResponseWriter) bool {
+	if s.tree == nil {
+		http.Error(w, "octserve: no tree loaded", http.StatusServiceUnavailable)
+		return false
+	}
+	return true
 }
 
 // metricsView is the /metrics response shape.
@@ -136,11 +239,8 @@ type runtimeView struct {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Content negotiation: Prometheus scrapers (Accept: text/plain, or an
-	// explicit ?format=prometheus) get the text exposition format; everything
-	// else gets the JSON view.
-	if r.URL.Query().Get("format") == "prometheus" ||
-		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+	sampleRuntime(s.reg)
+	if prefersPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.reg.Snapshot().WritePrometheus(w, "oct"); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -160,9 +260,65 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// prefersPrometheus decides the /metrics representation. An explicit
+// ?format=prometheus|json always wins; otherwise the Accept header's media
+// ranges are compared by q-value, with the Prometheus text exposition chosen
+// only when a prometheus-ish range (text/plain, application/openmetrics-text,
+// text/*) outranks every JSON-ish one. Absent or tied preferences keep the
+// JSON default.
+func prefersPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	promQ, jsonQ := -1.0, -1.0
+	for _, rng := range strings.Split(r.Header.Get("Accept"), ",") {
+		parts := strings.Split(rng, ";")
+		media := strings.ToLower(strings.TrimSpace(parts[0]))
+		if media == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "q="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					q = f
+				}
+			}
+		}
+		if q <= 0 {
+			continue // explicitly not acceptable
+		}
+		switch media {
+		case "text/plain", "application/openmetrics-text", "text/*":
+			if q > promQ {
+				promQ = q
+			}
+		case "application/json", "application/*":
+			if q > jsonQ {
+				jsonQ = q
+			}
+		case "*/*":
+			if q > promQ {
+				promQ = q
+			}
+			if q > jsonQ {
+				jsonQ = q
+			}
+		}
+	}
+	return promQ > jsonQ
+}
+
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
+		return
+	}
+	if !s.requireTree(w) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -190,6 +346,9 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleTree(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireTree(w) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.tree.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -209,6 +368,9 @@ type categoryView struct {
 }
 
 func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
+	if !s.requireTree(w) {
+		return
+	}
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
 		http.Error(w, "octserve: id must be an integer", http.StatusBadRequest)
@@ -243,6 +405,9 @@ func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleNavigate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireTree(w) {
+		return
+	}
 	raw := r.URL.Query().Get("items")
 	if raw == "" {
 		http.Error(w, "octserve: items parameter required (comma-separated ids)", http.StatusBadRequest)
@@ -268,6 +433,9 @@ func (s *server) handleNavigate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireTree(w) {
+		return
+	}
 	if s.inst == nil {
 		http.Error(w, "octserve: no instance loaded (-in)", http.StatusNotFound)
 		return

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -23,12 +25,21 @@ func testServer(t *testing.T) *server {
 		{Items: intset.New(3, 4), Weight: 1, Label: "cameras"},
 	}}
 	// A fresh registry per server keeps the request-count assertions
-	// independent of other tests and of the pipeline packages.
-	s, err := newServer(tr, inst, "", "threshold-jaccard", 0.6, obs.NewRegistry(), false)
+	// independent of other tests and of the pipeline packages; the discard
+	// logger keeps access-log lines out of test output.
+	s, err := newServer(serverOptions{
+		Tree: tr, Instance: inst, Variant: "threshold-jaccard", Delta: 0.6,
+		Registry: obs.NewRegistry(), Logger: discardLogger(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
@@ -126,10 +137,14 @@ func TestCoverageEndpoint(t *testing.T) {
 
 	// Without an instance the endpoint 404s.
 	tr := tree.New(nil)
-	s2, err := newServer(tr, nil, "", "exact", 1, obs.NewRegistry(), false)
+	s2, err := newServer(serverOptions{
+		Tree: tr, Variant: "exact", Delta: 1,
+		Registry: obs.NewRegistry(), Logger: discardLogger(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s2.Close)
 	if rec := get(t, s2, "/api/coverage"); rec.Code != 404 {
 		t.Fatalf("no-instance coverage: status %d", rec.Code)
 	}
@@ -151,7 +166,7 @@ func TestTreeEndpointRoundTrips(t *testing.T) {
 }
 
 func TestNewServerRejectsBadVariant(t *testing.T) {
-	if _, err := newServer(tree.New(nil), nil, "", "nope", 0.5, obs.NewRegistry(), false); err == nil {
+	if _, err := newServer(serverOptions{Tree: tree.New(nil), Variant: "nope", Delta: 0.5}); err == nil {
 		t.Fatal("bad variant accepted")
 	}
 }
@@ -206,10 +221,14 @@ func TestPprofGatedByFlag(t *testing.T) {
 		t.Fatal("pprof served without the flag")
 	}
 	tr := tree.New(nil)
-	sp, err := newServer(tr, nil, "", "exact", 1, obs.NewRegistry(), true)
+	sp, err := newServer(serverOptions{
+		Tree: tr, Variant: "exact", Delta: 1,
+		Registry: obs.NewRegistry(), Logger: discardLogger(), EnablePprof: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sp.Close)
 	if rec := get(t, sp, "/debug/pprof/cmdline"); rec.Code != 200 {
 		t.Fatalf("pprof with flag: status %d", rec.Code)
 	}

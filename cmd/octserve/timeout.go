@@ -1,0 +1,68 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"categorytree/internal/obs"
+)
+
+// Adaptive-deadline tuning. The controller trusts the latency histogram only
+// once it has seen timeoutMinSamples builds; before that the static timeout
+// applies unchanged.
+const (
+	timeoutMinSamples  = 32
+	timeoutFloor       = time.Second
+	timeoutRefreshSecs = 5 * time.Second
+)
+
+// timeoutController derives the sync /build per-request deadline from the
+// endpoint's own latency history: clamp(3×p99, floor, static). A healthy
+// server stops letting pathological requests hold a worker for the full
+// static 60s once it knows real builds finish in milliseconds; the static
+// value remains the upper bound (and the fallback while the histogram is
+// cold), so the adaptive path can only ever tighten.
+type timeoutController struct {
+	hist    *obs.Histogram // http.build/latency, shared with instrument
+	static  time.Duration  // fallback and upper clamp
+	refresh time.Duration  // snapshot cadence; 0 recomputes every call
+
+	mu     sync.Mutex
+	cached time.Duration
+	asOf   time.Time
+}
+
+func newTimeoutController(hist *obs.Histogram, static time.Duration) *timeoutController {
+	if static <= 0 {
+		static = 60 * time.Second
+	}
+	return &timeoutController{hist: hist, static: static, refresh: timeoutRefreshSecs}
+}
+
+// deadline returns the current per-request build deadline, recomputing from
+// the histogram at most every refresh interval.
+func (c *timeoutController) deadline() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if c.cached != 0 && c.refresh > 0 && now.Sub(c.asOf) < c.refresh {
+		return c.cached
+	}
+	c.cached = c.compute()
+	c.asOf = now
+	return c.cached
+}
+
+func (c *timeoutController) compute() time.Duration {
+	if c.hist.Count() < timeoutMinSamples {
+		return c.static
+	}
+	d := 3 * c.hist.Quantile(0.99)
+	if d < timeoutFloor {
+		d = timeoutFloor
+	}
+	if d > c.static {
+		d = c.static
+	}
+	return d
+}

@@ -15,6 +15,7 @@ import (
 
 	"categorytree"
 	"categorytree/internal/metrics"
+	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		titles  = flag.String("titles", "", "optional titles file: label unlabeled categories from item titles")
 	)
 	flag.Parse()
+	olog.Setup("")
 
 	f, err := os.Open(*in)
 	fatal(err)

@@ -76,6 +76,10 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 		return nil, fmt.Errorf("cct: empty instance")
 	}
 	span, ctx := obs.StartSpanContext(ctx, "cct.build")
+	// Coarse stage progress (embed → cluster → assign → condense); clustering
+	// and assignment report their own fine-grained progress inside.
+	const buildStages = 4
+	obs.ReportProgress(ctx, "cct.build", 0, buildStages)
 
 	// Line 1: embeddings. E(q)_i is the raw similarity of q to the i-th
 	// set — Jaccard or F1 for those bases, (r+p)/2 for Perfect-Recall —
@@ -84,6 +88,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	esp := span.Child("embed")
 	vecs := Embed(inst, cfg)
 	embedDur := esp.End()
+	obs.ReportProgress(ctx, "cct.build", 1, buildStages)
 
 	// Lines 2-3: dendrogram → tree skeleton. The strategy dispatch is what
 	// lets CCT scale past cluster.MaxPoints (see clusterDendrogram).
@@ -96,6 +101,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	}
 	t, catOf := skeletonFromDendrogram(inst, dend)
 	clusterDur := lsp.End()
+	obs.ReportProgress(ctx, "cct.build", 2, buildStages)
 
 	// Line 4: Algorithm 2 assigns all items (every category starts empty).
 	asp, actx := span.ChildContext(ctx, "assign")
@@ -109,6 +115,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 		span.End()
 		return nil, fmt.Errorf("cct: %w", err)
 	}
+	obs.ReportProgress(ctx, "cct.build", 3, buildStages)
 
 	// Lines 5-7: condense and catch strays.
 	dsp, dctx := span.ChildContext(ctx, "condense")
@@ -120,6 +127,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config) (*Res
 	}
 	assign.AddMiscCategory(inst, t)
 	condenseDur := dsp.End()
+	obs.ReportProgress(ctx, "cct.build", buildStages, buildStages)
 
 	span.Counter("sets").Add(int64(inst.N()))
 	span.Counter("categories").Add(int64(t.Len()))

@@ -75,7 +75,9 @@ func ApproxAgglomerativeContext(ctx context.Context, vecs []SparseVec, opts Appr
 	}
 	sp, ctx := obs.StartSpanContext(ctx, "cluster.approx")
 	defer sp.End()
-	canceled := obs.CancelEvery(ctx, 1)
+	// Two progress stages at the loops' existing cancellation strides: graph
+	// construction (one tick per point) and the merge loop (per merge).
+	graphTick := obs.ProgressEvery(ctx, "cluster.approx/graph", int64(n), 1)
 
 	d := &Dendrogram{Leaves: n}
 	if n == 1 {
@@ -106,7 +108,7 @@ func ApproxAgglomerativeContext(ctx context.Context, vecs []SparseVec, opts Appr
 	if k >= n-1 {
 		// Complete graph: exact-parity mode for tests and small inputs.
 		for i := 0; i < n; i++ {
-			if canceled() {
+			if graphTick(int64(i)) {
 				return nil, ctx.Err()
 			}
 			for j := i + 1; j < n; j++ {
@@ -114,7 +116,7 @@ func ApproxAgglomerativeContext(ctx context.Context, vecs []SparseVec, opts Appr
 			}
 		}
 	} else {
-		if err := buildKNNGraph(ctx, canceled, pts, k, connect); err != nil {
+		if err := buildKNNGraph(ctx, graphTick, pts, k, connect); err != nil {
 			return nil, err
 		}
 	}
@@ -136,9 +138,10 @@ func ApproxAgglomerativeContext(ctx context.Context, vecs []SparseVec, opts Appr
 		}
 	}
 	heap.Init(h)
+	mergeTick := obs.ProgressEvery(ctx, "cluster.approx", int64(n-1), 1)
 	nextID := n
 	for h.Len() > 0 && nextID < 2*n-1 {
-		if canceled() {
+		if mergeTick(int64(len(d.Merges))) {
 			return nil, ctx.Err()
 		}
 		e := heap.Pop(h).(edgeEntry)
@@ -195,7 +198,7 @@ func ApproxAgglomerativeContext(ctx context.Context, vecs []SparseVec, opts Appr
 // dimensions. Distances are Euclidean, computed from the accumulated dot
 // products; missing a candidate (posting truncation, visit budget) can only
 // drop an edge, never corrupt a distance.
-func buildKNNGraph(ctx context.Context, canceled func() bool, pts *SparsePoints, k int, connect func(i, j int, dist float64)) error {
+func buildKNNGraph(ctx context.Context, tick func(done int64) bool, pts *SparsePoints, k int, connect func(i, j int, dist float64)) error {
 	n := pts.Len()
 	type posting struct {
 		point int32
@@ -214,7 +217,7 @@ func buildKNNGraph(ctx context.Context, canceled func() bool, pts *SparsePoints,
 	var gen int32
 	touched := make([]int32, 0, approxVisitCap)
 	for i := 0; i < n; i++ {
-		if canceled() {
+		if tick(int64(i)) {
 			return ctx.Err()
 		}
 		gen++

@@ -157,7 +157,7 @@ func AgglomerativeContext(ctx context.Context, p Points) (*Dendrogram, error) {
 	}
 	sp, ctx := obs.StartSpanContext(ctx, "cluster.agglomerative")
 	defer sp.End()
-	canceled := obs.CancelEvery(ctx, 1)
+	tick := obs.ProgressEvery(ctx, "cluster.agglomerative", int64(n-1), 1)
 	d := &Dendrogram{Leaves: n}
 	if n == 1 {
 		return d, nil
@@ -190,7 +190,7 @@ func AgglomerativeContext(ctx context.Context, p Points) (*Dendrogram, error) {
 	nextID := n
 	var chainSteps int64 // NN-chain extensions, the algorithm's inner loop
 	for merges := 0; merges < n-1; merges++ {
-		if canceled() {
+		if tick(int64(merges)) {
 			return nil, ctx.Err()
 		}
 		if len(chain) == 0 {

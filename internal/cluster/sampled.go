@@ -66,7 +66,7 @@ func SampledContext(ctx context.Context, vecs []SparseVec, opts SampledOptions) 
 	}
 	sp, ctx := obs.StartSpanContext(ctx, "cluster.sampled")
 	defer sp.End()
-	canceled := obs.CancelEvery(ctx, 1)
+	tick := obs.ProgressEvery(ctx, "cluster.sampled", int64(k), 1)
 
 	norms := make([]float64, n)
 	for i, v := range vecs {
@@ -105,7 +105,7 @@ func SampledContext(ctx context.Context, vecs []SparseVec, opts SampledOptions) 
 	}
 	addRep(rng.Intn(n), 0)
 	for len(reps) < k {
-		if canceled() {
+		if tick(int64(len(reps))) {
 			return nil, ctx.Err()
 		}
 		total := 0.0

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"categorytree/internal/intset"
@@ -266,6 +267,12 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 	sp.Gauge("workers").Set(float64(workers))
 	workerTimer := sp.Timer("worker")
 	done := ctx.Done()
+	// Progress: workers share one done-set counter and report at the same
+	// per-set stride the cancellation poll already runs at, so an attached
+	// reporter sees a monotonic {done, total} stream and an absent one costs
+	// a nil check per set.
+	progress := obs.ProgressFrom(ctx)
+	var setsDone atomic.Int64
 	results := make([]pairRes, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -284,6 +291,10 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 			for a := w; a < n; a += workers {
 				if canceled() {
 					return
+				}
+				if progress != nil {
+					progress.Report(obs.ProgressEvent{
+						Stage: "conflict.analyze", Done: setsDone.Add(1), Total: int64(n)})
 				}
 				partners = partners[:0]
 				qa := inst.Sets[a]
@@ -401,6 +412,8 @@ func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct
 		workers = 1
 	}
 	done := ctx.Done()
+	progress := obs.ProgressFrom(ctx)
+	var setsDone atomic.Int64
 	// Per-set conflict adjacency for stamped constant-time pair checks.
 	confOf := make([][]oct.SetID, n)
 	for _, c := range res.Conflicts2 {
@@ -421,6 +434,10 @@ func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct
 			for mid := w; mid < n; mid += workers {
 				if canceled() {
 					return
+				}
+				if progress != nil {
+					progress.Report(obs.ProgressEvent{
+						Stage: "conflict.analyze/triples", Done: setsDone.Add(1), Total: int64(n)})
 				}
 				q2 := oct.SetID(mid)
 				partners := res.MustT[mid]

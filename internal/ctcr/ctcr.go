@@ -115,6 +115,10 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
 	span, ctx := obs.StartSpanContext(ctx, "ctcr.build")
+	// Coarse stage progress (analyze → solve → construct); the stages report
+	// their own fine-grained progress inside.
+	const buildStages = 3
+	obs.ReportProgress(ctx, "ctcr.build", 0, buildStages)
 
 	// Stage 1 (lines 1-9): rank, find conflicts, build the conflict
 	// (hyper)graph.
@@ -125,6 +129,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 		span.End()
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
+	obs.ReportProgress(ctx, "ctcr.build", 1, buildStages)
 
 	// Stage 2 (line 10): solve MIS.
 	ssp, sctx := span.ChildContext(ctx, "solve")
@@ -145,6 +150,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 		span.End()
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
+	obs.ReportProgress(ctx, "ctcr.build", 2, buildStages)
 
 	// Stage 3 (lines 11-26): construct the tree.
 	csp, cctx := span.ChildContext(ctx, "construct")
@@ -195,6 +201,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 
 	assign.AddMiscCategory(inst, res.Tree)
 	constructDur := csp.End()
+	obs.ReportProgress(ctx, "ctcr.build", buildStages, buildStages)
 	span.Counter("sets").Add(int64(inst.N()))
 	span.Counter("selected").Add(int64(len(res.Selected)))
 	span.Counter("categories").Add(int64(res.Tree.Len()))

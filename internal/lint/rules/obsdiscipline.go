@@ -17,11 +17,18 @@ import (
 //     request's measurements into the shared registry;
 //   - every started span (StartSpan, StartSpanContext, Child, ChildContext)
 //     must be ended on every path: either a deferred End, or no return
-//     statement between the start and the first End call.
+//     statement between the start and the first End call;
+//   - no bare prints: log.Printf and friends bypass the structured logger
+//     (internal/obs/log) and fmt.Printf/Print/Println write diagnostics to
+//     stdout untagged — both lose the trace id and span attributes the
+//     context handler would attach. The bare-print check also covers
+//     cmd/octserve (which owns the access log); the registry and span checks
+//     stay scoped to the pipeline packages, where server-level fallbacks
+//     like obs.Default() are legitimate.
 var ObsDiscipline = &lint.Analyzer{
 	Name:  "obsdiscipline",
-	Doc:   "pipeline packages must use the context's obs registry and End every started span on all paths",
-	Match: lint.PathMatcher(pipelinePkgs...),
+	Doc:   "pipeline packages must use the context's obs registry, End every started span on all paths, and log through the structured logger",
+	Match: lint.PathMatcher(append(pipelinePkgs[:len(pipelinePkgs):len(pipelinePkgs)], "cmd/octserve")...),
 	Run:   runObsDiscipline,
 }
 
@@ -38,9 +45,48 @@ var spanStarters = map[string]bool{
 	"StartSpan": true, "StartSpanContext": true, "Child": true, "ChildContext": true,
 }
 
+// barePrintFuncs lists the stdlib print entry points that bypass structured
+// logging: the whole log.Print/Fatal/Panic family, and fmt's implicit-stdout
+// printers (fmt.Fprintf to an explicit writer stays fine — that is how
+// handlers write responses and binaries report fatal errors).
+var barePrintFuncs = map[string]map[string]bool{
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+}
+
 func runObsDiscipline(pass *lint.Pass) {
 	info := pass.Pkg.Info
+	pipelineOnly := lint.PathMatcher(pipelinePkgs...)(pass.Pkg.Path)
 	for _, file := range pass.Pkg.Files {
+		// Bare prints: everywhere the analyzer runs.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, isMethod := info.Selections[sel]; isMethod {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			for pkg, names := range barePrintFuncs {
+				if names[obj.Name()] && isPkgFunc(obj, pkg, obj.Name()) {
+					pass.Reportf(sel.Pos(), "%s.%s bypasses the structured logger; use internal/obs/log (olog) so the record carries the trace id and span", pkg, obj.Name())
+				}
+			}
+			return true
+		})
+		if !pipelineOnly {
+			continue
+		}
 		// Global-registry accessors: package-level obs.X only (methods named
 		// StartSpan on a *Registry value are registry-scoped and fine).
 		ast.Inspect(file, func(n ast.Node) bool {

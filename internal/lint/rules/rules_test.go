@@ -20,7 +20,14 @@ func TestCtxFlowFixture(t *testing.T) {
 
 func TestObsDisciplineFixture(t *testing.T) {
 	linttest.Run(t, rules.ObsDiscipline,
-		filepath.Join("testdata", "obsdiscipline"), "fix/internal/ctcr", "context", "fmt")
+		filepath.Join("testdata", "obsdiscipline"), "fix/internal/ctcr", "context", "fmt", "log", "os")
+}
+
+// The octserve fixture exercises the analyzer outside the pipeline packages:
+// bare prints are still findings, process-global registry fallbacks are not.
+func TestObsDisciplineOctserveFixture(t *testing.T) {
+	linttest.Run(t, rules.ObsDiscipline,
+		filepath.Join("testdata", "obsdiscipline_octserve"), "fix/cmd/octserve", "fmt", "log", "os")
 }
 
 func TestFloatEqFixture(t *testing.T) {

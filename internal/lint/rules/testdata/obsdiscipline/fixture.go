@@ -5,6 +5,8 @@ package fix
 import (
 	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"categorytree/internal/obs"
 )
@@ -66,3 +68,10 @@ func escapes(ctx context.Context) {
 }
 
 func finish(sp obs.Span) { sp.End() }
+
+func barePrints() {
+	log.Printf("stage done")    // want "log.Printf bypasses the structured logger"
+	fmt.Printf("debug %d\n", 1) // want "fmt.Printf bypasses the structured logger"
+	fmt.Println("progress")     // want "fmt.Println bypasses the structured logger"
+	fmt.Fprintf(os.Stderr, "explicit writers stay fine\n")
+}

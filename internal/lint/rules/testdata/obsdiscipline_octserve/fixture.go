@@ -1,0 +1,26 @@
+// Fixture for the obsdiscipline analyzer outside the pipeline: type-checked
+// under the fake import path fix/cmd/octserve, where only the bare-print
+// check applies — server-level fallbacks on the process-global registry are
+// legitimate there.
+package fix
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"categorytree/internal/obs"
+)
+
+func serverFallback() *obs.Registry {
+	// Allowed here: the server wires the default registry when the caller
+	// passes none; only pipeline packages must stay context-scoped.
+	return obs.Default()
+}
+
+func barePrints() {
+	log.Printf("listening")                    // want "log.Printf bypasses the structured logger"
+	log.Fatalf("bind: %v", "boom")             // want "log.Fatalf bypasses the structured logger"
+	fmt.Println("request complete")            // want "fmt.Println bypasses the structured logger"
+	fmt.Fprintln(os.Stderr, "octserve: usage") // explicit writer: fine
+}

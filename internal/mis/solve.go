@@ -91,9 +91,13 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 
 	if len(undecided) > 0 {
 		sub, orig := g.Induced(undecided)
-		for _, comp := range sub.Components() {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
+		comps := sub.Components()
+		// Per-component progress at the loop's existing cancellation
+		// granularity; branch-and-bound interior polling stays stride-1024.
+		tick := obs.ProgressEvery(ctx, "mis.solve", int64(len(comps)), 1)
+		for _, comp := range comps {
+			if tick(int64(res.Components)) {
+				return Result{}, ctx.Err()
 			}
 			res.Components++
 			cg, corig := sub.Induced(comp)
@@ -115,6 +119,9 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 			}
 		}
 	}
+	// Final report is unconditional (done == total == components, possibly
+	// zero) so every solve surfaces as a completed stage to live observers.
+	obs.ReportProgress(ctx, "mis.solve", int64(res.Components), int64(res.Components))
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}

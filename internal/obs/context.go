@@ -7,6 +7,34 @@ import (
 )
 
 type registryKey struct{}
+type traceIDKey struct{}
+type spanPathKey struct{}
+
+// WithTraceID returns a context carrying a request-scoped trace identifier.
+// The identifier is free-form (octserve uses 16 hex chars per request); the
+// structured log handler (internal/obs/log) stamps it onto every record
+// logged with this context, which is what correlates access-log lines,
+// pipeline logs, and trace exports of one request.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the context's trace identifier, or "" when none is
+// attached.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// SpanPath returns the full name of the innermost span started along this
+// context via StartSpanContext/ChildContext (span names are hierarchical,
+// e.g. "ctcr.build/analyze"), or "" outside any span. The structured log
+// handler attaches it to records so log lines locate themselves in the
+// pipeline without the caller repeating stage names.
+func SpanPath(ctx context.Context) string {
+	p, _ := ctx.Value(spanPathKey{}).(string)
+	return p
+}
 
 // WithRegistry returns a context carrying reg. Pipeline entry points called
 // with this context record their metrics into reg instead of the
@@ -33,6 +61,7 @@ func FromContext(ctx context.Context) *Registry {
 func StartSpanContext(ctx context.Context, name string) (Span, context.Context) {
 	sp := FromContext(ctx).StartSpan(name)
 	sp.tr, ctx = trace.StartSpan(ctx, name)
+	ctx = context.WithValue(ctx, spanPathKey{}, name)
 	return sp, ctx
 }
 
@@ -41,5 +70,9 @@ func StartSpanContext(ctx context.Context, name string) (Span, context.Context) 
 // under this stage rather than its parent.
 func (s Span) ChildContext(ctx context.Context, name string) (Span, context.Context) {
 	child := s.Child(name)
-	return child, trace.ContextWithSpan(ctx, child.tr)
+	ctx = trace.ContextWithSpan(ctx, child.tr)
+	if child.name != "" {
+		ctx = context.WithValue(ctx, spanPathKey{}, child.name)
+	}
+	return child, ctx
 }

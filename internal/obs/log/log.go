@@ -1,0 +1,126 @@
+// Package olog is the repository's structured logging layer, a thin
+// configuration of log/slog that ties log records into the observability
+// context: every record logged with a context carrying an obs trace ID
+// (obs.WithTraceID) or an active pipeline span (obs.StartSpanContext) is
+// stamped with `trace_id` and `span` attributes, so one request's access-log
+// line, its pipeline stage logs, and its Chrome trace export all correlate
+// on the same identifier without callers threading it by hand.
+//
+// Binaries call Setup once in main to install the process default (both this
+// package's and slog's); libraries log through slog as usual, or take a
+// *slog.Logger where per-component configuration matters (octserve's access
+// log). Handlers come in "text" (human, stderr default) and "json" (one
+// machine-parseable object per line) flavors; the OCT_LOG_FORMAT and
+// OCT_LOG_LEVEL environment variables configure binaries that grow no
+// dedicated flags.
+package olog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"categorytree/internal/obs"
+)
+
+// contextHandler decorates an inner slog.Handler with the observability
+// attributes carried by the record's context.
+type contextHandler struct {
+	inner slog.Handler
+}
+
+// NewContextHandler wraps h so handled records gain `trace_id` and `span`
+// attributes from their context (when present). Wrapping is idempotent in
+// effect: absent context values add nothing.
+func NewContextHandler(h slog.Handler) slog.Handler {
+	return &contextHandler{inner: h}
+}
+
+func (h *contextHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *contextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := obs.TraceID(ctx); id != "" {
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	if sp := obs.SpanPath(ctx); sp != "" {
+		rec.AddAttrs(slog.String("span", sp))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &contextHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *contextHandler) WithGroup(name string) slog.Handler {
+	return &contextHandler{inner: h.inner.WithGroup(name)}
+}
+
+// New builds a context-aware structured logger writing to w. Format is
+// "json" or "text" (anything else falls back to text, so a mistyped
+// OCT_LOG_FORMAT degrades to readable output rather than none).
+func New(w io.Writer, format string, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	if strings.EqualFold(format, "json") {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(NewContextHandler(inner))
+}
+
+// def holds the package default logger (atomic so tests and Setup can swap
+// it without racing loggers in flight).
+var def atomic.Pointer[slog.Logger]
+
+func init() {
+	def.Store(New(os.Stderr, envFormat(""), envLevel()))
+}
+
+// Default returns the process-wide structured logger.
+func Default() *slog.Logger { return def.Load() }
+
+// SetDefault installs l as both this package's and slog's default, so
+// libraries logging through plain slog.Info et al. inherit the structured
+// context handler too.
+func SetDefault(l *slog.Logger) {
+	def.Store(l)
+	slog.SetDefault(l)
+}
+
+// Setup configures the process logger on stderr and installs it as the
+// default; every cmd/* binary calls it first thing in main. An empty format
+// defers to OCT_LOG_FORMAT (default "text"); the level always comes from
+// OCT_LOG_LEVEL ("debug", "info", "warn", "error"; default info). The
+// configured logger is returned for callers that keep a handle.
+func Setup(format string) *slog.Logger {
+	l := New(os.Stderr, envFormat(format), envLevel())
+	SetDefault(l)
+	return l
+}
+
+func envFormat(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	return os.Getenv("OCT_LOG_FORMAT")
+}
+
+func envLevel() slog.Level {
+	switch strings.ToLower(os.Getenv("OCT_LOG_LEVEL")) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

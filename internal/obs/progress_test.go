@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// collector is a threadsafe Progress recording every event.
+type collector struct {
+	mu  sync.Mutex
+	evs []ProgressEvent
+}
+
+func (c *collector) Report(ev ProgressEvent) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collector) events() []ProgressEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ProgressEvent(nil), c.evs...)
+}
+
+func TestProgressFromAbsent(t *testing.T) {
+	if p := ProgressFrom(context.Background()); p != nil {
+		t.Fatalf("ProgressFrom(empty) = %v, want nil", p)
+	}
+	// ReportProgress without a reporter must be a silent no-op.
+	ReportProgress(context.Background(), "stage", 1, 2)
+}
+
+func TestReportProgressDelivers(t *testing.T) {
+	c := &collector{}
+	ctx := WithProgress(context.Background(), c)
+	ReportProgress(ctx, "ctcr.build", 1, 3)
+	evs := c.events()
+	if len(evs) != 1 || evs[0] != (ProgressEvent{Stage: "ctcr.build", Done: 1, Total: 3}) {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestProgressEveryReportsAtStride(t *testing.T) {
+	c := &collector{}
+	ctx := WithProgress(context.Background(), c)
+	tick := ProgressEvery(ctx, "merges", 10, 3)
+	for i := int64(1); i <= 9; i++ {
+		if tick(i) {
+			t.Fatalf("canceled at %d without cancellation", i)
+		}
+	}
+	evs := c.events()
+	// Stride 3 over 9 calls: reports at done = 3, 6, 9.
+	want := []int64{3, 6, 9}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(evs), evs, len(want))
+	}
+	for i, w := range want {
+		if evs[i].Done != w || evs[i].Total != 10 || evs[i].Stage != "merges" {
+			t.Fatalf("event %d = %+v, want done %d", i, evs[i], w)
+		}
+	}
+}
+
+func TestProgressEveryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := ProgressEvery(ctx, "s", 5, 1)
+	if tick(1) {
+		t.Fatal("canceled before cancel()")
+	}
+	cancel()
+	if !tick(2) {
+		t.Fatal("cancellation not observed")
+	}
+	// Latches like CancelEvery.
+	if !tick(3) {
+		t.Fatal("cancellation did not latch")
+	}
+}
+
+func TestProgressEveryWithoutReporterMatchesCancelEvery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tick := ProgressEvery(ctx, "s", 5, 2)
+	if tick(1) || tick(2) {
+		t.Fatal("spurious cancellation")
+	}
+	cancel()
+	if tick(3) { // stride not yet elapsed since last poll
+		t.Fatal("poll fired off-stride")
+	}
+	if !tick(4) {
+		t.Fatal("cancellation not observed at stride")
+	}
+}
+
+func TestSpanPathFollowsNesting(t *testing.T) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	if got := SpanPath(ctx); got != "" {
+		t.Fatalf("SpanPath outside spans = %q", got)
+	}
+	sp, ctx1 := StartSpanContext(ctx, "ctcr.build")
+	if got := SpanPath(ctx1); got != "ctcr.build" {
+		t.Fatalf("SpanPath = %q", got)
+	}
+	child, ctx2 := sp.ChildContext(ctx1, "analyze")
+	if got := SpanPath(ctx2); got != "ctcr.build/analyze" {
+		t.Fatalf("child SpanPath = %q", got)
+	}
+	// The parent context is untouched.
+	if got := SpanPath(ctx1); got != "ctcr.build" {
+		t.Fatalf("parent SpanPath mutated to %q", got)
+	}
+	child.End()
+	sp.End()
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	if got := TraceID(context.Background()); got != "" {
+		t.Fatalf("TraceID(empty) = %q", got)
+	}
+	ctx := WithTraceID(context.Background(), "deadbeefcafe0123")
+	if got := TraceID(ctx); got != "deadbeefcafe0123" {
+		t.Fatalf("TraceID = %q", got)
+	}
+}
