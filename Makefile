@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fmt fuzz bench scale-smoke
+.PHONY: all build test race lint fmt fuzz bench bench-baseline bench-gate scale-smoke
 
 all: build lint test
 
@@ -33,6 +33,28 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+
+# Packages whose benchmarks feed the failing CI regression gate, and the
+# exact sampling CI uses: 10 iterations gives the Mann-Whitney test enough
+# samples to reach p < 0.05 (a single-iteration baseline never can).
+BENCH_GATE_PKGS = ./internal/conflict/ ./internal/mis/ ./internal/assign/ ./internal/tree/ ./internal/serve/
+BENCH_GATE_ARGS = -run '^$$' -bench . -count=10 -benchtime=100ms -benchmem
+
+# Regenerate BENCH_baseline.txt exactly the way CI consumes it: the full
+# suite at one iteration (feeds the smoke compare and the missing-benchmark
+# check), then -count=10 sections for the gated packages (feeds the failing
+# gate). Commit the result whenever benchmarks are added or intentionally
+# change performance.
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > BENCH_baseline.txt
+	$(GO) test $(BENCH_GATE_ARGS) $(BENCH_GATE_PKGS) >> BENCH_baseline.txt
+
+# The failing regression gate, as CI runs it: fresh -count=10 samples over
+# the gated packages, judged against the committed baseline (fail only on a
+# statistically significant >25% geomean slowdown).
+bench-gate:
+	$(GO) test $(BENCH_GATE_ARGS) $(BENCH_GATE_PKGS) > bench_new.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.txt -new bench_new.txt
 
 # The past-the-ceiling CCT run: a 50k-set synthetic build through the
 # scaled clustering strategies plus their micro-benchmarks. SCALEFLAGS=-short

@@ -1,0 +1,293 @@
+// Command benchgate turns Go benchmark output into a CI gate that can
+// actually fail. It parses `go test -bench` text (the committed baseline and
+// a fresh run), pairs benchmarks by name, and applies a Mann-Whitney U test
+// to each pair's sec/op samples. The gate fails only when the geometric mean
+// of the *statistically significant* regressions (p < alpha, slower than
+// baseline) exceeds the threshold — single noisy benchmarks don't trip it,
+// and neither does broad sub-significant jitter.
+//
+//	benchgate -baseline BENCH_baseline.txt -new bench_new.txt
+//	benchgate -mode missing -baseline BENCH_baseline.txt -new bench.txt
+//
+// Modes:
+//
+//	gate     fail when significant regressions geomean above -threshold
+//	         (default 1.25, i.e. >25% slower on sec/op)
+//	missing  fail when a benchmark present in -new has no baseline entry —
+//	         the nudge that keeps BENCH_baseline.txt in step with the suite
+//
+// Significance needs samples: with a single baseline iteration the U test
+// can never reach p < 0.05, so gated packages must be recorded with
+// -count≥4 in the baseline (make bench-baseline records 10).
+//
+// Stdlib only, so CI can `go run ./cmd/benchgate` without network installs.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.txt", "committed baseline benchmark output")
+		newPath      = flag.String("new", "", "fresh benchmark output to judge (required)")
+		mode         = flag.String("mode", "gate", "gate (fail on significant regressions) or missing (fail on benchmarks absent from the baseline)")
+		alpha        = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		threshold    = flag.Float64("threshold", 1.25, "failing geomean ratio over significant regressions (sec/op, new/old)")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	base, err := parseBenchFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "gate":
+		rep := gate(base, fresh, *alpha)
+		fmt.Print(rep.render())
+		if rep.fails(*threshold) {
+			fmt.Printf("FAIL: significant regressions geomean %.3fx > %.2fx threshold\n", rep.geomean(), *threshold)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: significant regressions geomean %.3fx ≤ %.2fx threshold\n", rep.geomean(), *threshold)
+	case "missing":
+		gone := missing(base, fresh)
+		if len(gone) > 0 {
+			fmt.Println("benchmarks missing from the baseline (refresh with `make bench-baseline`):")
+			for _, name := range gone {
+				fmt.Println("  " + name)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: all %d benchmarks have baseline entries\n", len(fresh))
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: unknown mode %q (gate, missing)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// benchLine matches one benchmark result line: name, iteration count, and
+// the ns/op figure. Extra -benchmem columns are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench reads benchmark output into name → ns/op samples. The
+// GOMAXPROCS suffix (-8) is stripped so runs from machines with different
+// core counts still pair up.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], v)
+	}
+	return out, sc.Err()
+}
+
+func parseBenchFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// row is one paired benchmark's verdict.
+type row struct {
+	name        string
+	baseMedian  float64
+	newMedian   float64
+	ratio       float64 // new/base on medians
+	p           float64
+	significant bool // p < alpha AND slower than baseline
+}
+
+// report is the gate's full comparison result.
+type report struct {
+	rows     []row
+	unpaired []string // in new but not baseline (gate skips; missing mode fails)
+}
+
+// gate pairs benchmarks and tests each for regression. Only benchmarks
+// present on both sides are judged.
+func gate(base, fresh map[string][]float64, alpha float64) *report {
+	rep := &report{}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			rep.unpaired = append(rep.unpaired, name)
+			continue
+		}
+		n := fresh[name]
+		r := row{
+			name:       name,
+			baseMedian: median(b),
+			newMedian:  median(n),
+			p:          mannWhitney(b, n),
+		}
+		r.ratio = r.newMedian / r.baseMedian
+		r.significant = r.p < alpha && r.ratio > 1
+		rep.rows = append(rep.rows, r)
+	}
+	return rep
+}
+
+// geomean returns the geometric mean ratio over the significant regressions
+// (1.0 when there are none — nothing to gate on).
+func (rep *report) geomean() float64 {
+	sum, n := 0.0, 0
+	for _, r := range rep.rows {
+		if r.significant {
+			sum += math.Log(r.ratio)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+func (rep *report) fails(threshold float64) bool { return rep.geomean() > threshold }
+
+func (rep *report) render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-52s %14s %14s %8s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "ratio", "p", "verdict")
+	for _, r := range rep.rows {
+		verdict := "~"
+		if r.significant {
+			verdict = "REGRESSION"
+		} else if r.p < 0.05 && r.ratio < 1 {
+			verdict = "improved"
+		}
+		fmt.Fprintf(&sb, "%-52s %14.1f %14.1f %8.3f %8.4f  %s\n", r.name, r.baseMedian, r.newMedian, r.ratio, r.p, verdict)
+	}
+	for _, name := range rep.unpaired {
+		fmt.Fprintf(&sb, "%-52s (no baseline entry; not gated)\n", name)
+	}
+	return sb.String()
+}
+
+// missing lists benchmarks present in fresh but absent from base, sorted.
+func missing(base, fresh map[string][]float64) []string {
+	var out []string
+	for name := range fresh {
+		if _, ok := base[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitney returns the two-sided p-value of the Mann-Whitney U test via
+// the normal approximation with tie correction and continuity correction —
+// the same machinery benchstat uses at these sample sizes, without the
+// dependency. Identical samples (zero variance) return p = 1.
+func mannWhitney(a, b []float64) float64 {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks across ties, accumulating the tie correction term.
+	n := n1 + n2
+	r1 := 0.0     // rank sum of sample a
+	tieSum := 0.0 // Σ (t³ - t) over tie groups
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		tieSum += t*t*t - t
+		i = j
+	}
+
+	u1 := r1 - float64(n1*(n1+1))/2
+	mean := float64(n1*n2) / 2
+	variance := float64(n1*n2) / 12 * (float64(n+1) - tieSum/float64(n*(n-1)))
+	if variance <= 0 {
+		return 1
+	}
+	// Continuity correction: shrink the deviation by 0.5 toward the mean.
+	dev := math.Abs(u1-mean) - 0.5
+	if dev < 0 {
+		dev = 0
+	}
+	z := dev / math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}

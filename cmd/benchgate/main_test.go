@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// synthBench renders count benchmark lines for name around base ns/op with a
+// small deterministic wobble, mimicking `go test -bench -count=N` output.
+func synthBench(name string, base float64, count int) string {
+	var sb strings.Builder
+	for i := 0; i < count; i++ {
+		wobble := 1 + 0.01*float64(i%5) // ±few percent, deterministic
+		fmt.Fprintf(&sb, "%s-8    1000    %.1f ns/op    16 B/op    1 allocs/op\n", name, base*wobble)
+	}
+	return sb.String()
+}
+
+func parse(t *testing.T, text string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t, `goos: linux
+goarch: amd64
+pkg: categorytree/internal/tree
+BenchmarkBestCoverScan-8       27896    43205 ns/op    0 B/op    0 allocs/op
+BenchmarkBestCoverScan-8       27900    43100 ns/op
+BenchmarkReadIndexBestCover-8  1084649  1084 ns/op
+PASS
+ok  	categorytree/internal/tree	2.1s
+`)
+	if len(m["BenchmarkBestCoverScan"]) != 2 {
+		t.Fatalf("scan samples = %v", m["BenchmarkBestCoverScan"])
+	}
+	if got := m["BenchmarkReadIndexBestCover"][0]; got != 1084 {
+		t.Fatalf("readindex ns/op = %v", got)
+	}
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(m))
+	}
+}
+
+// TestGateFailsOnSeededRegression is the acceptance check: a synthetic 2×
+// regression in one benchmark makes the gate fail, while the unmodified run
+// passes.
+func TestGateFailsOnSeededRegression(t *testing.T) {
+	baseline := synthBench("BenchmarkCategorize", 1000, 10) +
+		synthBench("BenchmarkNavigate", 500, 10) +
+		synthBench("BenchmarkBuild", 2000, 10)
+
+	// Unmodified: same distributions → no significant regression → passes.
+	same := parse(t, baseline)
+	rep := gate(parse(t, baseline), same, 0.05)
+	if rep.fails(1.25) {
+		t.Fatalf("identical runs failed the gate:\n%s", rep.render())
+	}
+
+	// Seeded 2× slowdown in one benchmark (the synthetic version of a
+	// time.Sleep doubling in the categorize handler): gate must fail.
+	regressed := synthBench("BenchmarkCategorize", 2000, 10) +
+		synthBench("BenchmarkNavigate", 500, 10) +
+		synthBench("BenchmarkBuild", 2000, 10)
+	rep = gate(parse(t, baseline), parse(t, regressed), 0.05)
+	if !rep.fails(1.25) {
+		t.Fatalf("2x regression passed the gate:\n%s", rep.render())
+	}
+	if g := rep.geomean(); g < 1.9 || g > 2.1 {
+		t.Fatalf("geomean = %.3f, want ~2.0", g)
+	}
+}
+
+func TestGateTolerantOfNoiseAndImprovements(t *testing.T) {
+	baseline := synthBench("BenchmarkA", 1000, 10) + synthBench("BenchmarkB", 1000, 10)
+
+	// A significant but small (10%) regression stays under the 1.25
+	// threshold: significance alone does not fail the gate.
+	small := synthBench("BenchmarkA", 1100, 10) + synthBench("BenchmarkB", 1000, 10)
+	rep := gate(parse(t, baseline), parse(t, small), 0.05)
+	if rep.fails(1.25) {
+		t.Fatalf("10%% regression failed the 25%% gate:\n%s", rep.render())
+	}
+
+	// A large improvement plus unchanged peers never fails.
+	improved := synthBench("BenchmarkA", 200, 10) + synthBench("BenchmarkB", 1000, 10)
+	rep = gate(parse(t, baseline), parse(t, improved), 0.05)
+	if rep.fails(1.25) {
+		t.Fatalf("improvement failed the gate:\n%s", rep.render())
+	}
+
+	// A 2x shift with a single baseline sample can never reach p < 0.05:
+	// under-sampled baselines warn rather than flake.
+	thin := synthBench("BenchmarkA", 1000, 1) + synthBench("BenchmarkB", 1000, 1)
+	rep = gate(parse(t, thin), regressedPair(), 0.05)
+	if rep.fails(1.25) {
+		t.Fatalf("n=1 baseline produced a significant verdict:\n%s", rep.render())
+	}
+}
+
+func regressedPair() map[string][]float64 {
+	m, _ := parseBench(strings.NewReader(
+		synthBench("BenchmarkA", 2000, 10) + synthBench("BenchmarkB", 2000, 10)))
+	return m
+}
+
+func TestMissingMode(t *testing.T) {
+	base := parse(t, synthBench("BenchmarkA", 1000, 1))
+	fresh := parse(t, synthBench("BenchmarkA", 1000, 1)+synthBench("BenchmarkNew", 10, 1))
+	gone := missing(base, fresh)
+	if len(gone) != 1 || gone[0] != "BenchmarkNew" {
+		t.Fatalf("missing = %v", gone)
+	}
+	if gone := missing(base, parse(t, synthBench("BenchmarkA", 900, 1))); len(gone) != 0 {
+		t.Fatalf("missing on covered set = %v", gone)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := mannWhitney(same, same); p < 0.9 {
+		t.Fatalf("identical samples p = %v", p)
+	}
+	lo := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	hi := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	if p := mannWhitney(lo, hi); p >= 0.05 {
+		t.Fatalf("disjoint samples p = %v, want < 0.05", p)
+	}
+	// n1=1 vs n2=10 cannot reach significance no matter the separation.
+	if p := mannWhitney([]float64{1}, hi); p < 0.05 {
+		t.Fatalf("single-sample baseline p = %v, want ≥ 0.05", p)
+	}
+	if p := mannWhitney(nil, hi); p != 1 {
+		t.Fatalf("empty sample p = %v, want 1", p)
+	}
+}
+
+func TestGateSkipsUnpairedBenchmarks(t *testing.T) {
+	base := parse(t, synthBench("BenchmarkA", 1000, 10))
+	fresh := parse(t, synthBench("BenchmarkA", 1000, 10)+synthBench("BenchmarkOnlyNew", 5000, 10))
+	rep := gate(base, fresh, 0.05)
+	if len(rep.rows) != 1 || len(rep.unpaired) != 1 || rep.unpaired[0] != "BenchmarkOnlyNew" {
+		t.Fatalf("rows = %+v, unpaired = %v", rep.rows, rep.unpaired)
+	}
+	if rep.fails(1.25) {
+		t.Fatal("unpaired benchmark affected the gate")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}

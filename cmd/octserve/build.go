@@ -39,6 +39,10 @@ type buildRequest struct {
 	// Trace requests a Chrome trace_event JSON of the build's stages in the
 	// response.
 	Trace bool `json:"trace"`
+	// Publish atomically swaps the built tree in as the served snapshot once
+	// the build succeeds (also ?publish=1). Readers in flight finish on the
+	// old snapshot; new requests see the new version.
+	Publish bool `json:"publish"`
 	// Instance inlines an OCT instance, overriding the server's.
 	Instance json.RawMessage `json:"instance"`
 }
@@ -47,16 +51,19 @@ type buildRequest struct {
 // the constructed tree plus the request-scoped stage breakdown (and the
 // trace, when asked for).
 type buildResponse struct {
-	Algorithm  string          `json:"algorithm"`
-	Variant    string          `json:"variant"`
-	Delta      float64         `json:"delta"`
-	Sets       int             `json:"sets"`
-	Categories int             `json:"categories"`
-	Selected   int             `json:"selected,omitempty"`
-	MISOptimal *bool           `json:"mis_optimal,omitempty"`
-	Stages     obs.Snapshot    `json:"stages"`
-	Tree       json.RawMessage `json:"tree"`
-	Trace      json.RawMessage `json:"trace,omitempty"`
+	Algorithm  string  `json:"algorithm"`
+	Variant    string  `json:"variant"`
+	Delta      float64 `json:"delta"`
+	Sets       int     `json:"sets"`
+	Categories int     `json:"categories"`
+	Selected   int     `json:"selected,omitempty"`
+	MISOptimal *bool   `json:"mis_optimal,omitempty"`
+	// PublishedVersion is set when the build was published as the served
+	// snapshot (publish:true / ?publish=1).
+	PublishedVersion *uint64         `json:"published_version,omitempty"`
+	Stages           obs.Snapshot    `json:"stages"`
+	Tree             json.RawMessage `json:"tree"`
+	Trace            json.RawMessage `json:"trace,omitempty"`
 }
 
 // buildSpec is a validated build request, ready to run.
@@ -65,6 +72,7 @@ type buildSpec struct {
 	cfg       oct.Config
 	inst      *oct.Instance
 	trace     bool
+	publish   bool
 }
 
 // httpError carries a status code alongside the message.
@@ -126,13 +134,19 @@ func (s *server) parseBuildSpec(r *http.Request) (buildSpec, error) {
 	default:
 		return buildSpec{}, &httpError{http.StatusBadRequest, fmt.Sprintf("octserve: unknown algorithm %q (ctcr, cct)", req.Algorithm)}
 	}
-	return buildSpec{algorithm: req.Algorithm, cfg: cfg, inst: inst, trace: req.Trace}, nil
+	publish := req.Publish
+	switch r.URL.Query().Get("publish") {
+	case "1", "true":
+		publish = true
+	}
+	return buildSpec{algorithm: req.Algorithm, cfg: cfg, inst: inst, trace: req.Trace, publish: publish}, nil
 }
 
 // runBuild executes the pipeline for spec with reg as the request-scoped
 // registry (assumed already on ctx via obs.WithRegistry). It is the shared
-// core of the sync and async paths.
-func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildResponse, error) {
+// core of the sync and async paths. The built tree is returned alongside the
+// response so callers can publish it as the served snapshot.
+func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildResponse, *tree.Tree, error) {
 	var rec *trace.Recorder
 	if spec.trace {
 		rec = trace.New()
@@ -150,7 +164,7 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 	case "ctcr":
 		res, err := ctcr.BuildContext(ctx, spec.inst, spec.cfg, ctcr.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		built = res.Tree
 		resp.Selected = len(res.Selected)
@@ -158,7 +172,7 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 	case "cct":
 		res, err := cct.BuildContext(ctx, spec.inst, spec.cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		built = res.Tree
 	}
@@ -167,17 +181,27 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 
 	var buf bytes.Buffer
 	if err := built.WriteJSON(&buf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp.Tree = buf.Bytes()
 	if rec != nil {
 		var tb bytes.Buffer
 		if err := rec.WriteJSON(&tb); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		resp.Trace = tb.Bytes()
 	}
-	return resp, nil
+	return resp, built, nil
+}
+
+// maybePublish swaps built in as the served snapshot when the spec asked for
+// it, recording the new version in resp.
+func (s *server) maybePublish(spec buildSpec, resp *buildResponse, built *tree.Tree) {
+	if !spec.publish || built == nil {
+		return
+	}
+	snap := s.pub.Publish(built)
+	resp.PublishedVersion = &snap.Version
 }
 
 // handleBuild runs a full pipeline build per request. Each request gets its
@@ -221,7 +245,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	ctx = obs.WithRegistry(ctx, reg)
 
-	resp, err := runBuild(ctx, spec, reg)
+	resp, built, err := runBuild(ctx, spec, reg)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -231,6 +255,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.maybePublish(spec, resp, built)
 	writeJSON(w, resp)
 }
 
@@ -264,11 +289,12 @@ func (s *server) startAsyncBuild(w http.ResponseWriter, spec buildSpec) {
 func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, spec buildSpec) {
 	defer cancel()
 	t0 := time.Now()
-	resp, err := runBuild(ctx, spec, j.reg)
+	resp, built, err := runBuild(ctx, spec, j.reg)
 	state := jobDone
 	msg := ""
 	switch {
 	case err == nil:
+		s.maybePublish(spec, resp, built)
 	case ctx.Err() != nil:
 		state, msg = jobCanceled, ctx.Err().Error()
 	default:

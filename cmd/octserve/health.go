@@ -87,21 +87,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // readyView is the /readyz body: overall readiness plus the per-check detail
 // that tells an operator which gate failed.
 type readyView struct {
-	Ready       bool `json:"ready"`
-	TreeLoaded  bool `json:"tree_loaded"`
-	JobsRunning int  `json:"jobs_running"`
-	JobCapacity int  `json:"job_capacity"`
+	Ready           bool   `json:"ready"`
+	TreeLoaded      bool   `json:"tree_loaded"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	JobsRunning     int    `json:"jobs_running"`
+	JobCapacity     int    `json:"job_capacity"`
 }
 
-// handleReadyz gates traffic: ready means the tree is loaded and the async
-// job registry has headroom. Not-ready is a 503 so load balancers rotate the
-// instance out without killing it (that is /healthz's call).
+// handleReadyz gates traffic: ready means a snapshot has been published (the
+// read path can actually answer, not merely "a tree was handed to the
+// constructor") and the async job registry has headroom. Not-ready is a 503
+// so load balancers rotate the instance out without killing it (that is
+// /healthz's call).
 func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	running := s.jobs.running()
 	v := readyView{
-		TreeLoaded:  s.tree != nil,
 		JobsRunning: running,
 		JobCapacity: s.jobs.capacity,
+	}
+	if snap := s.pub.Current(); snap != nil {
+		v.TreeLoaded = true
+		v.SnapshotVersion = snap.Version
 	}
 	v.Ready = v.TreeLoaded && running < s.jobs.capacity
 	if !v.Ready {

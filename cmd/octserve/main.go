@@ -9,14 +9,24 @@
 //	GET /                    HTML tree browser (plain nested lists)
 //	GET /api/tree            full tree as JSON
 //	GET /api/category?id=N   one category: label, items, children, titles
-//	GET /api/navigate?items=1,2,3
+//	GET /categorize?items=1,2,3
+//	GET /categorize?q=red+shirt
+//	                         map a query result set (explicit ids, or a text
+//	                         query routed through the titles search index) to
+//	                         its best category via the snapshot's inverted
+//	                         item→category index; variant= and delta=
+//	                         override the defaults (also at /api/categorize)
+//	GET /navigate?items=1,2,3
 //	                         simulated browse-then-filter session for an
-//	                         ad-hoc target set
+//	                         ad-hoc target set (also at /api/navigate)
 //	GET /api/coverage        per-input-set cover scores (needs -in)
 //	POST /build              run a full CTCR or CCT build with a
 //	                         request-scoped metrics registry; returns the
 //	                         tree, a per-stage breakdown, and optionally a
-//	                         Chrome trace (also at /api/build). The deadline
+//	                         Chrome trace (also at /api/build). publish:true
+//	                         in the body (or ?publish=1) atomically swaps the
+//	                         result in as the served snapshot — in-flight
+//	                         readers finish on the old one. The deadline
 //	                         adapts to the endpoint's own latency history
 //	                         (clamp of 3×p99, bounded by -build-timeout).
 //	POST /build?async=1      start the build as a background job: 202 + id
@@ -28,7 +38,8 @@
 //	                         Prometheus text exposition negotiated via Accept
 //	                         or forced with ?format=prometheus
 //	GET /healthz             liveness (always 200 while serving)
-//	GET /readyz              readiness: tree loaded, job registry headroom
+//	GET /readyz              readiness: snapshot published, job registry
+//	                         headroom
 //	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof)
 //
 // Every request gets a trace id (echoed as X-Trace-Id) and one structured
@@ -67,6 +78,7 @@ func main() {
 		maxJobs      = flag.Int("max-jobs", 16, "async build job registry capacity")
 		jobTTL       = flag.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay fetchable")
 		buildTimeout = flag.Duration("build-timeout", 60*time.Second, "static sync /build deadline and upper bound of the adaptive one")
+		readCache    = flag.Int("read-cache", 0, "per-snapshot response cache entries for /categorize and /navigate (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 	logger := olog.Setup(*logFormat)
@@ -87,16 +99,17 @@ func main() {
 	}
 
 	srv, err := newServer(serverOptions{
-		Tree:         tr,
-		Instance:     inst,
-		TitlesPath:   *titles,
-		Variant:      *variant,
-		Delta:        *delta,
-		Logger:       logger,
-		EnablePprof:  *pprofFlag,
-		MaxJobs:      *maxJobs,
-		JobTTL:       *jobTTL,
-		BuildTimeout: *buildTimeout,
+		Tree:          tr,
+		Instance:      inst,
+		TitlesPath:    *titles,
+		Variant:       *variant,
+		Delta:         *delta,
+		Logger:        logger,
+		EnablePprof:   *pprofFlag,
+		MaxJobs:       *maxJobs,
+		JobTTL:        *jobTTL,
+		BuildTimeout:  *buildTimeout,
+		ReadCacheSize: *readCache,
 	})
 	fatal(err)
 

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"categorytree/internal/obs"
+	"categorytree/internal/serve"
+)
+
+func TestCategorizeEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/categorize?items=0,1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q", got)
+	}
+	var res serve.CategorizeResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched || res.Label != "nike shirts" || res.SnapshotVersion != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if rec := get(t, s, "/categorize?items=1,0"); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatal("equivalent query missed the cache")
+	}
+	// Treeless server: the read path answers 503 until a snapshot publishes.
+	noTree, err := newServer(serverOptions{Variant: "exact", Delta: 1, Registry: obs.NewRegistry(), Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(noTree.Close)
+	if rec := get(t, noTree, "/categorize?items=0"); rec.Code != 503 {
+		t.Fatalf("treeless categorize: status %d", rec.Code)
+	}
+}
+
+func TestBuildPublishSwapsSnapshot(t *testing.T) {
+	s := testServer(t)
+
+	var ready readyView
+	if err := json.Unmarshal(get(t, s, "/readyz").Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.SnapshotVersion != 1 {
+		t.Fatalf("initial snapshot version = %d, want 1", ready.SnapshotVersion)
+	}
+
+	// Prime the read cache, then publish a rebuilt tree through /build.
+	get(t, s, "/categorize?items=0,1")
+	resp := decodeBuild(t, postBuild(t, s, `{"publish":true}`))
+	if resp.PublishedVersion == nil || *resp.PublishedVersion != 2 {
+		t.Fatalf("published_version = %v", resp.PublishedVersion)
+	}
+
+	// The swap is visible everywhere that reads the snapshot: readyz reports
+	// the new version and the read path serves it (cache invalidated by the
+	// version bump — the old snapshot's cache died with it).
+	if err := json.Unmarshal(get(t, s, "/readyz").Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.SnapshotVersion != 2 {
+		t.Fatalf("post-publish snapshot version = %d, want 2", ready.SnapshotVersion)
+	}
+	rec := get(t, s, "/categorize?items=0,1")
+	if rec.Header().Get("X-Cache") != "miss" {
+		t.Fatal("read cache survived the publish")
+	}
+	var res serve.CategorizeResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotVersion != 2 {
+		t.Fatalf("categorize snapshot version = %d, want 2", res.SnapshotVersion)
+	}
+
+	// A build without publish leaves the served snapshot alone.
+	resp = decodeBuild(t, postBuild(t, s, "{}"))
+	if resp.PublishedVersion != nil {
+		t.Fatalf("unpublished build got version %d", *resp.PublishedVersion)
+	}
+	if s.pub.Current().Version != 2 {
+		t.Fatalf("snapshot version changed to %d without publish", s.pub.Current().Version)
+	}
+}
+
+func TestMetricsExposeSnapshotGauges(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/categorize?items=0,1")
+	get(t, s, "/categorize?items=0,1")
+	var view struct {
+		Metrics obs.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(get(t, s, "/metrics").Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if got := view.Metrics.Gauges["snapshot/version"]; got != 1 {
+		t.Fatalf("snapshot/version gauge = %v", got)
+	}
+	if view.Metrics.Counters["readcache/misses"] != 1 || view.Metrics.Counters["readcache/hits"] != 1 {
+		t.Fatalf("read cache counters = %v", view.Metrics.Counters)
+	}
+	if view.Metrics.Counters["http.categorize/requests"] != 2 {
+		t.Fatalf("http.categorize/requests = %d", view.Metrics.Counters["http.categorize/requests"])
+	}
+}

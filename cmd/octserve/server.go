@@ -15,11 +15,11 @@ import (
 	"strings"
 	"time"
 
-	"categorytree/internal/facet"
-	"categorytree/internal/intset"
 	"categorytree/internal/obs"
 	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
+	"categorytree/internal/search"
+	"categorytree/internal/serve"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
 )
@@ -52,12 +52,18 @@ type serverOptions struct {
 	// BuildTimeout is the static sync-/build deadline and the upper clamp of
 	// the adaptive one (0 = 60s).
 	BuildTimeout time.Duration
+	// ReadCacheSize bounds each snapshot's response cache for /categorize and
+	// /navigate (0 = serve's default, negative disables caching).
+	ReadCacheSize int
 }
 
-// server holds the serving state: the immutable tree/instance plus the async
-// job registry and the adaptive build-timeout controller.
+// server holds the serving state: the snapshot publisher (the only route to
+// the tree — every handler reads one immutable published snapshot), the
+// read-path handlers over it, the instance, plus the async job registry and
+// the adaptive build-timeout controller.
 type server struct {
-	tree    *tree.Tree
+	pub     *serve.Publisher
+	reader  *serve.Reader
 	inst    *oct.Instance
 	titles  []string
 	cfg     oct.Config
@@ -92,7 +98,7 @@ func newServer(opts serverOptions) (*server, error) {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &server{
-		tree:    opts.Tree,
+		pub:     serve.NewPublisher(reg, opts.ReadCacheSize),
 		inst:    opts.Instance,
 		cfg:     oct.Config{Variant: v, Delta: opts.Delta},
 		mux:     http.NewServeMux(),
@@ -119,10 +125,36 @@ func newServer(opts serverOptions) (*server, error) {
 		}
 		f.Close()
 	}
+	if opts.Tree != nil {
+		s.pub.Publish(opts.Tree)
+	}
+
+	// Titles double as the /categorize text-query corpus: one document per
+	// item id, so a q= query resolves to a result set of item ids.
+	var ix *search.Index
+	if len(s.titles) > 0 {
+		ix = search.NewIndex()
+		for i, title := range s.titles {
+			ix.Add(int32(i), title)
+		}
+		ix.Build()
+	}
+	s.reader = serve.NewReader(s.pub, serve.Options{
+		Variant:  s.cfg.Variant,
+		Delta:    s.cfg.Delta,
+		Search:   ix,
+		Registry: reg,
+	})
+
 	s.mux.HandleFunc("/", s.instrument("index", s.handleIndex))
 	s.mux.HandleFunc("/api/tree", s.instrument("tree", s.handleTree))
 	s.mux.HandleFunc("/api/category", s.instrument("category", s.handleCategory))
-	s.mux.HandleFunc("/api/navigate", s.instrument("navigate", s.handleNavigate))
+	categorize := s.instrument("categorize", s.reader.Categorize)
+	s.mux.HandleFunc("/categorize", categorize)
+	s.mux.HandleFunc("/api/categorize", categorize)
+	navigate := s.instrument("navigate", s.reader.Navigate)
+	s.mux.HandleFunc("/navigate", navigate)
+	s.mux.HandleFunc("/api/navigate", navigate)
 	s.mux.HandleFunc("/api/coverage", s.instrument("coverage", s.handleCoverage))
 	build := s.instrument("build", s.handleBuild)
 	s.mux.HandleFunc("/build", build)
@@ -130,14 +162,14 @@ func newServer(opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("GET /builds/{id}", s.instrument("build_status", s.handleBuildStatus))
 	s.mux.HandleFunc("GET /builds/{id}/events", s.instrument("build_events", s.handleBuildEvents))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
 	if opts.EnablePprof {
-		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.mux.HandleFunc("/debug/pprof/", s.instrument("pprof", pprof.Index))
+		s.mux.HandleFunc("/debug/pprof/cmdline", s.instrument("pprof_cmdline", pprof.Cmdline))
+		s.mux.HandleFunc("/debug/pprof/profile", s.instrument("pprof_profile", pprof.Profile))
+		s.mux.HandleFunc("/debug/pprof/symbol", s.instrument("pprof_symbol", pprof.Symbol))
+		s.mux.HandleFunc("/debug/pprof/trace", s.instrument("pprof_trace", pprof.Trace))
 	}
 	return s, nil
 }
@@ -216,13 +248,24 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// requireTree guards browsing endpoints when the server came up treeless.
-func (s *server) requireTree(w http.ResponseWriter) bool {
-	if s.tree == nil {
-		http.Error(w, "octserve: no tree loaded", http.StatusServiceUnavailable)
-		return false
+// currentTree returns the live snapshot's tree, or nil before any publish.
+func (s *server) currentTree() *tree.Tree {
+	if snap := s.pub.Current(); snap != nil {
+		return snap.Tree
 	}
-	return true
+	return nil
+}
+
+// requireTree guards browsing endpoints when the server came up treeless.
+// Handlers call it once per request and hold the returned tree throughout,
+// so a response stays consistent even when a publish lands mid-request.
+func (s *server) requireTree(w http.ResponseWriter) (*tree.Tree, bool) {
+	tr := s.currentTree()
+	if tr == nil {
+		http.Error(w, "octserve: no tree loaded", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	return tr, true
 }
 
 // metricsView is the /metrics response shape.
@@ -318,7 +361,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	if !s.requireTree(w) {
+	tr, ok := s.requireTree(w)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -341,16 +385,17 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "</li>\n")
 	}
 	fmt.Fprint(w, "<ul>\n")
-	rec(s.tree.Root())
+	rec(tr.Root())
 	fmt.Fprint(w, "</ul>\n")
 }
 
 func (s *server) handleTree(w http.ResponseWriter, _ *http.Request) {
-	if !s.requireTree(w) {
+	tr, ok := s.requireTree(w)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.tree.WriteJSON(w); err != nil {
+	if err := tr.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -368,7 +413,8 @@ type categoryView struct {
 }
 
 func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
-	if !s.requireTree(w) {
+	tr, ok := s.requireTree(w)
+	if !ok {
 		return
 	}
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
@@ -376,7 +422,7 @@ func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "octserve: id must be an integer", http.StatusBadRequest)
 		return
 	}
-	n := s.tree.Node(id)
+	n := tr.Node(id)
 	if n == nil {
 		http.Error(w, "octserve: no such category", http.StatusNotFound)
 		return
@@ -404,43 +450,16 @@ func (s *server) handleCategory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, view)
 }
 
-func (s *server) handleNavigate(w http.ResponseWriter, r *http.Request) {
-	if !s.requireTree(w) {
-		return
-	}
-	raw := r.URL.Query().Get("items")
-	if raw == "" {
-		http.Error(w, "octserve: items parameter required (comma-separated ids)", http.StatusBadRequest)
-		return
-	}
-	var items []intset.Item
-	for _, part := range strings.Split(raw, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			http.Error(w, "octserve: bad item id "+part, http.StatusBadRequest)
-			return
-		}
-		items = append(items, intset.Item(v))
-	}
-	res := facet.Navigate(s.tree, intset.New(items...))
-	writeJSON(w, map[string]interface{}{
-		"category":    res.Node.ID,
-		"label":       res.Node.Label,
-		"depth":       res.Depth,
-		"precision":   res.Precision,
-		"filterSteps": res.FilterSteps,
-	})
-}
-
 func (s *server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
-	if !s.requireTree(w) {
+	tr, ok := s.requireTree(w)
+	if !ok {
 		return
 	}
 	if s.inst == nil {
 		http.Error(w, "octserve: no instance loaded (-in)", http.StatusNotFound)
 		return
 	}
-	scorer := tree.NewScorer(s.tree)
+	scorer := tree.NewScorer(tr)
 	per := scorer.PerSetScores(s.inst, s.cfg)
 	type row struct {
 		Label  string  `json:"label"`

@@ -160,8 +160,8 @@ func TestTreeEndpointRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Len() != s.tree.Len() {
-		t.Fatalf("round trip %d categories, want %d", got.Len(), s.tree.Len())
+	if got.Len() != s.currentTree().Len() {
+		t.Fatalf("round trip %d categories, want %d", got.Len(), s.currentTree().Len())
 	}
 }
 

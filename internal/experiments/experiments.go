@@ -720,6 +720,7 @@ var Registry = map[string]func(context.Context, Options) (*Result, error){
 	"fig8g":     Fig8g,
 	"fig8h":     Fig8h,
 	"scale":     Scale,
+	"serve":     Serve,
 	"traintest": TrainTest,
 	"table1":    Table1,
 	"cohesion":  Cohesion,

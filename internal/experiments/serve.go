@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/obs"
+	"categorytree/internal/serve"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+	"categorytree/internal/xrand"
+)
+
+// serveTree builds a deterministic two-level category tree shaped like the
+// read-index benchmarks: top categories partition the universe, each with a
+// fan of subset subcategories. It is the serving fixture, not a pipeline
+// product — the serve experiment measures the read path, not construction.
+func serveTree(seed int64, universe, tops, subsPerTop int) *tree.Tree {
+	rng := xrand.New(seed)
+	t := tree.New(intset.Range(0, intset.Item(universe)))
+	per := universe / tops
+	for g := 0; g < tops; g++ {
+		lo := g * per
+		hi := lo + per
+		if g == tops-1 {
+			hi = universe
+		}
+		items := make([]intset.Item, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			items = append(items, intset.Item(v))
+		}
+		top := t.AddCategory(nil, intset.New(items...), fmt.Sprintf("top-%d", g))
+		for s := 0; s < subsPerTop; s++ {
+			k := 2 + rng.Intn(len(items)/2)
+			sub := make([]intset.Item, 0, k)
+			for _, idx := range rng.SampleK(len(items), k) {
+				sub = append(sub, items[idx])
+			}
+			t.AddCategory(top, intset.New(sub...), fmt.Sprintf("top-%d/sub-%d", g, s))
+		}
+	}
+	return t
+}
+
+// serveNullWriter discards response bodies so the load driver measures the
+// handler, not the driver's own buffering. One writer per worker; handlers
+// only set headers and write bytes, so no synchronization is needed.
+type serveNullWriter struct{ h http.Header }
+
+func (w *serveNullWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+func (w *serveNullWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *serveNullWriter) WriteHeader(int)             {}
+
+// Serve ("serve") is the closed-loop read-path load experiment: Scale×10000
+// worker goroutines (min 100, so CI-sized runs stay quick) each keep exactly
+// one /categorize request in flight against an in-process serve.Reader —
+// concurrent in-flight requests equal the worker count by construction.
+// Mid-run, fresh snapshots publish on a ticker, so the numbers include
+// cache-invalidation churn and prove readers never block on a publish. The
+// handler path is the production one (zero-lock: one atomic snapshot load,
+// lock-free cache, pooled scratch); only the HTTP transport is elided.
+func Serve(ctx context.Context, opts Options) (*Result, error) {
+	workers := int(10000 * opts.Scale)
+	if workers < 100 {
+		workers = 100
+	}
+	const perWorker = 20
+	const distinctQueries = 4096
+
+	reg := obs.NewRegistry()
+	pub := serve.NewPublisher(reg, 0)
+	universe := 20000
+	pub.Publish(serveTree(opts.Seed, universe, 20, 14))
+	rd := serve.NewReader(pub, serve.Options{Variant: sim.CutoffJaccard, Delta: 0.3, Registry: reg})
+
+	// Pre-build the query mix: mostly small in-category sets, reused across
+	// workers so the cache sees both hits and misses.
+	rng := xrand.New(opts.Seed + 1)
+	reqs := make([]*http.Request, distinctQueries)
+	for i := range reqs {
+		base := rng.Intn(universe - 32)
+		q := fmt.Sprintf("/categorize?items=%d,%d,%d", base, base+1+rng.Intn(16), base+1+rng.Intn(31))
+		r, err := http.NewRequest("GET", q, nil)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = r
+	}
+
+	hist := reg.Histogram("serveexp/latency")
+	var errors atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Publisher churn: swap in a new snapshot every few milliseconds while
+	// the load runs. Readers in flight keep their loaded snapshot; the old
+	// cache dies with it.
+	pubCtx, stopPublishing := context.WithCancel(ctx)
+	var publishes atomic.Int64
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pubCtx.Done():
+				return
+			case <-tick.C:
+				pub.Publish(serveTree(opts.Seed+publishes.Load()+2, universe, 20, 14))
+				publishes.Add(1)
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nw := &serveNullWriter{}
+			for i := 0; i < perWorker; i++ {
+				if ctx.Err() != nil {
+					errors.Add(1)
+					return
+				}
+				req := reqs[(w*31+i*7)%len(reqs)]
+				t0 := time.Now()
+				rd.Categorize(nw, req)
+				hist.Observe(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	stopPublishing()
+	pubWG.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	snap := reg.Snapshot()
+	stat := snap.Histograms["serveexp/latency"]
+	total := stat.Count
+	hits := snap.Counters["readcache/hits"]
+	misses := snap.Counters["readcache/misses"]
+	res := &Result{
+		ID:     "serve",
+		Title:  fmt.Sprintf("closed-loop /categorize load: %d concurrent in-flight requests", workers),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"workers (concurrent in-flight)", fmt.Sprint(workers)},
+			{"requests", fmt.Sprint(total)},
+			{"wall", wall.Round(time.Millisecond).String()},
+			{"throughput", fmt.Sprintf("%.0f req/s", float64(total)/wall.Seconds())},
+			{"p50 latency", stat.Quantile(0.50).String()},
+			{"p99 latency", stat.Quantile(0.99).String()},
+			{"cache hits", fmt.Sprint(hits)},
+			{"cache misses", fmt.Sprint(misses)},
+			{"mid-run publishes", fmt.Sprint(publishes.Load())},
+			{"final snapshot version", fmt.Sprint(pub.Current().Version)},
+		},
+	}
+	if int64(workers*perWorker) != total+errors.Load() {
+		return nil, fmt.Errorf("serve: %d requests issued, %d recorded", workers*perWorker, total)
+	}
+	res.Notes = append(res.Notes,
+		"read path is zero-lock: one atomic snapshot load per request, lock-free response cache, pooled scratch buffers")
+	if workers >= 10000 {
+		res.Notes = append(res.Notes, fmt.Sprintf("sustained %d concurrent in-flight requests through %d snapshot publishes", workers, publishes.Load()))
+	} else {
+		res.Notes = append(res.Notes, "CI-sized run; -scale 1 drives 10000 concurrent in-flight requests")
+	}
+	return res, nil
+}

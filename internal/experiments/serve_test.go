@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestServeRuns drives the load experiment at CI size (100 workers) and
+// checks the accounting: every issued request is recorded, the mid-run
+// publisher bumped the snapshot version, and the cache saw both hits and
+// misses.
+func TestServeRuns(t *testing.T) {
+	res, err := Serve(context.Background(), Options{Scale: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(metric string) string {
+		for _, r := range res.Rows {
+			if r[0] == metric {
+				return r[1]
+			}
+		}
+		t.Fatalf("missing row %q in %v", metric, res.Rows)
+		return ""
+	}
+	workers, _ := strconv.Atoi(row("workers (concurrent in-flight)"))
+	requests, _ := strconv.Atoi(row("requests"))
+	if workers != 100 {
+		t.Fatalf("workers = %d, want the 100 floor at scale 0.01", workers)
+	}
+	if requests != workers*20 {
+		t.Fatalf("requests = %d, want %d", requests, workers*20)
+	}
+	version, _ := strconv.Atoi(row("final snapshot version"))
+	if version < 1 {
+		t.Fatalf("final snapshot version = %d", version)
+	}
+	misses, _ := strconv.Atoi(row("cache misses"))
+	if misses == 0 {
+		t.Fatal("no cache misses recorded — the driver measured nothing")
+	}
+	if !strings.Contains(row("p99 latency"), "s") { // "µs", "ms", or "s"
+		t.Fatalf("p99 latency = %q", row("p99 latency"))
+	}
+}
+
+func TestServeHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Serve(ctx, Options{Scale: 0.01, Seed: 7}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

@@ -24,7 +24,11 @@ import (
 //     context handler would attach. The bare-print check also covers
 //     cmd/octserve (which owns the access log); the registry and span checks
 //     stay scoped to the pipeline packages, where server-level fallbacks
-//     like obs.Default() are legitimate.
+//     like obs.Default() are legitimate;
+//   - in cmd/octserve, every handler registered on an http.ServeMux must go
+//     through the server's instrument wrapper — the wrapper is what records
+//     the per-endpoint request/error counters and latency histogram, so a
+//     raw registration is an endpoint invisible to /metrics.
 var ObsDiscipline = &lint.Analyzer{
 	Name:  "obsdiscipline",
 	Doc:   "pipeline packages must use the context's obs registry, End every started span on all paths, and log through the structured logger",
@@ -85,6 +89,8 @@ func runObsDiscipline(pass *lint.Pass) {
 			return true
 		})
 		if !pipelineOnly {
+			// cmd/octserve: handler registrations must be instrument-wrapped.
+			checkHandlerInstrumentation(pass, file)
 			continue
 		}
 		// Global-registry accessors: package-level obs.X only (methods named
@@ -114,6 +120,110 @@ func runObsDiscipline(pass *lint.Pass) {
 			return true
 		})
 	}
+}
+
+// checkHandlerInstrumentation flags http.ServeMux registrations whose handler
+// argument is not wrapped by the server's instrument helper. Accepted shapes
+// are a direct wrap at the registration site
+//
+//	mux.HandleFunc("/x", s.instrument("x", s.handleX))
+//
+// and an identifier bound to a wrap result (the sharing pattern used when one
+// handler serves several routes):
+//
+//	h := s.instrument("x", s.handleX)
+//	mux.HandleFunc("/x", h)
+//
+// Anything else registers an endpoint that records no latency histogram.
+func checkHandlerInstrumentation(pass *lint.Pass, file *ast.File) {
+	info := pass.Pkg.Info
+
+	// Identifiers assigned from an instrument(...) call, by object.
+	wrapped := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 || !isInstrumentCall(as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				wrapped[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				wrapped[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "HandleFunc" && sel.Sel.Name != "Handle") {
+			return true
+		}
+		if !isServeMuxMethod(info, sel) {
+			return true
+		}
+		h := ast.Unparen(call.Args[1])
+		if isInstrumentCall(h) {
+			return true
+		}
+		if id, ok := h.(*ast.Ident); ok && wrapped[info.Uses[id]] {
+			return true
+		}
+		pass.Reportf(call.Args[1].Pos(),
+			"handler for %s is registered without the instrument wrapper, so the endpoint records no latency histogram; register s.instrument(name, handler) instead",
+			routePattern(call.Args[0]))
+		return true
+	})
+}
+
+// isInstrumentCall reports whether expr is a call to a function or method
+// named instrument (the octserve wrapper that installs the per-endpoint
+// counters and latency histogram).
+func isInstrumentCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "instrument"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "instrument"
+	}
+	return false
+}
+
+// isServeMuxMethod reports whether sel selects a method on net/http.ServeMux
+// (directly or through a pointer).
+func isServeMuxMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	selinfo, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := selinfo.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ServeMux" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// routePattern renders the registration's pattern argument for diagnostics.
+func routePattern(expr ast.Expr) string {
+	if lit, ok := ast.Unparen(expr).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return lit.Value
+	}
+	return "this route"
 }
 
 // spanStart is one tracked span variable within a function.

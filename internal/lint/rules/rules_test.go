@@ -27,7 +27,7 @@ func TestObsDisciplineFixture(t *testing.T) {
 // bare prints are still findings, process-global registry fallbacks are not.
 func TestObsDisciplineOctserveFixture(t *testing.T) {
 	linttest.Run(t, rules.ObsDiscipline,
-		filepath.Join("testdata", "obsdiscipline_octserve"), "fix/cmd/octserve", "fmt", "log", "os")
+		filepath.Join("testdata", "obsdiscipline_octserve"), "fix/cmd/octserve", "fmt", "log", "net/http", "os")
 }
 
 func TestFloatEqFixture(t *testing.T) {

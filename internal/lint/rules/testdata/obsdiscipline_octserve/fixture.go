@@ -1,12 +1,13 @@
 // Fixture for the obsdiscipline analyzer outside the pipeline: type-checked
-// under the fake import path fix/cmd/octserve, where only the bare-print
-// check applies — server-level fallbacks on the process-global registry are
-// legitimate there.
+// under the fake import path fix/cmd/octserve, where the bare-print and
+// handler-instrumentation checks apply — server-level fallbacks on the
+// process-global registry are legitimate there.
 package fix
 
 import (
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"categorytree/internal/obs"
@@ -24,3 +25,45 @@ func barePrints() {
 	fmt.Println("request complete")            // want "fmt.Println bypasses the structured logger"
 	fmt.Fprintln(os.Stderr, "octserve: usage") // explicit writer: fine
 }
+
+// fakeServer mirrors the octserve server's registration surface: instrument
+// wraps a handler with per-endpoint metrics, and routes register on a mux.
+type fakeServer struct{ mux *http.ServeMux }
+
+func (s *fakeServer) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	_ = name
+	return h
+}
+
+func (s *fakeServer) handleIndex(w http.ResponseWriter, r *http.Request)  {}
+func (s *fakeServer) handleHealth(w http.ResponseWriter, r *http.Request) {}
+func (s *fakeServer) handleRaw(w http.ResponseWriter, r *http.Request)    {}
+
+func (s *fakeServer) routes() {
+	// Direct wrap at the registration site: fine.
+	s.mux.HandleFunc("/", s.instrument("index", s.handleIndex))
+
+	// One wrapped handler shared across routes via an identifier: fine.
+	health := s.instrument("health", s.handleHealth)
+	s.mux.HandleFunc("/healthz", health)
+	s.mux.HandleFunc("/api/healthz", health)
+
+	// Raw registrations record no latency histogram.
+	s.mux.HandleFunc("/raw", s.handleRaw)                                      // want "registered without the instrument wrapper"
+	s.mux.Handle("/raw2", http.HandlerFunc(s.handleRaw))                       // want "registered without the instrument wrapper"
+	s.mux.HandleFunc("/raw3", func(w http.ResponseWriter, r *http.Request) {}) // want "registered without the instrument wrapper"
+
+	// An identifier that was never wrapped stays flagged even when another
+	// identifier in scope was.
+	raw := s.handleRaw
+	s.mux.HandleFunc("/raw4", raw) // want "registered without the instrument wrapper"
+
+	// Registrations on non-mux types (e.g. a custom router) are out of scope.
+	var rt fakeRouter
+	rt.HandleFunc("/other", s.handleRaw)
+}
+
+// fakeRouter is not an http.ServeMux; the rule must leave it alone.
+type fakeRouter struct{}
+
+func (fakeRouter) HandleFunc(pattern string, h http.HandlerFunc) {}

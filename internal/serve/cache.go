@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultCacheSize bounds a snapshot's response cache when the caller does
+// not choose one. Entries are small (a cache key plus an encoded JSON
+// response, typically well under 1 KiB), so the default stays modest.
+const defaultCacheSize = 4096
+
+// readCache is a bounded response cache with lock-free hits and approximate
+// LRU eviction. It is keyed by normalized query strings; snapshot version
+// never appears in the key because each snapshot owns its own cache — a
+// publish retires the whole cache with the snapshot it belongs to, which is
+// the "invalidated for free by version bumps" design.
+//
+// Concurrency: the hit path is sync.Map.Load plus two atomic adds — no
+// mutex, no channel. The miss path stores through sync.Map (which may take
+// an internal lock only while the map is still growing) and, past capacity,
+// triggers a best-effort eviction pass that a single goroutine runs at a
+// time; other writers proceed without waiting for it.
+type readCache struct {
+	m   sync.Map // string → *cacheEntry
+	cap int64
+
+	size     atomic.Int64 // approximate entry count
+	clock    atomic.Int64 // logical access time, bumped per get/put
+	evicting atomic.Bool  // at most one eviction sweep at a time
+}
+
+// cacheEntry holds one encoded response and its last-access stamp.
+type cacheEntry struct {
+	body  []byte
+	stamp atomic.Int64
+}
+
+func newReadCache(capacity int) *readCache {
+	return &readCache{cap: int64(capacity)}
+}
+
+// get returns the cached response body for key, refreshing its LRU stamp.
+func (c *readCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	v, ok := c.m.Load(key)
+	if !ok {
+		return nil, false
+	}
+	e := v.(*cacheEntry)
+	e.stamp.Store(c.clock.Add(1))
+	return e.body, true
+}
+
+// put inserts the response body for key. Bodies are stored as-is; callers
+// must not mutate them afterwards.
+func (c *readCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{body: body}
+	e.stamp.Store(c.clock.Add(1))
+	if _, loaded := c.m.LoadOrStore(key, e); loaded {
+		// A concurrent miss on the same key beat us to it; both computed the
+		// same response from the same immutable snapshot, so keeping theirs
+		// is fine.
+		return
+	}
+	if c.size.Add(1) > c.cap {
+		c.evict()
+	}
+}
+
+// len returns the approximate number of cached entries.
+func (c *readCache) len() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.size.Load()
+}
+
+// evict trims the cache back to ~90% of capacity by dropping the
+// least-recently-stamped entries. Only one goroutine sweeps at a time; the
+// sweep samples all stamps, picks a cutoff, and deletes below it —
+// approximate LRU, chosen so that neither hits nor misses ever wait on a
+// lock for cache maintenance.
+func (c *readCache) evict() {
+	if !c.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.evicting.Store(false)
+
+	target := c.cap * 9 / 10
+	excess := c.size.Load() - target
+	if excess <= 0 {
+		return
+	}
+	type aged struct {
+		key   string
+		stamp int64
+	}
+	var all []aged
+	c.m.Range(func(k, v interface{}) bool {
+		all = append(all, aged{k.(string), v.(*cacheEntry).stamp.Load()})
+		return true
+	})
+	if int64(len(all)) <= target {
+		return
+	}
+	// Select the cutoff stamp with a partial sort: entries at or below it go.
+	drop := int64(len(all)) - target
+	stamps := make([]int64, len(all))
+	for i := range all {
+		stamps[i] = all[i].stamp
+	}
+	cutoff := kthSmallest(stamps, drop)
+	removed := int64(0)
+	for _, a := range all {
+		if removed >= drop {
+			break
+		}
+		if a.stamp <= cutoff {
+			c.m.Delete(a.key)
+			removed++
+		}
+	}
+	c.size.Add(-removed)
+}
+
+// kthSmallest returns the k-th smallest value (1-based) via in-place
+// quickselect. Eviction sweeps are rare and n is bounded by the cache
+// capacity, so expected O(n) here keeps maintenance negligible.
+func kthSmallest(stamps []int64, k int64) int64 {
+	lo, hi := int64(0), int64(len(stamps)-1)
+	for lo < hi {
+		pivot := stamps[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for stamps[i] < pivot {
+				i++
+			}
+			for stamps[j] > pivot {
+				j--
+			}
+			if i <= j {
+				stamps[i], stamps[j] = stamps[j], stamps[i]
+				i, j = i+1, j-1
+			}
+		}
+		if k-1 <= j {
+			hi = j
+		} else if k-1 >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return stamps[k-1]
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestReadCacheGetPut(t *testing.T) {
+	c := newReadCache(8)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", []byte("body-a"))
+	body, ok := c.get("a")
+	if !ok || string(body) != "body-a" {
+		t.Fatalf("get a = %q, %v", body, ok)
+	}
+	// Duplicate put keeps a single entry.
+	c.put("a", []byte("body-a2"))
+	if got := c.len(); got != 1 {
+		t.Fatalf("len after duplicate put = %d, want 1", got)
+	}
+}
+
+func TestReadCacheEvictsLRU(t *testing.T) {
+	c := newReadCache(50)
+	for i := 0; i < 50; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	// Refresh the first 10 so they are the most recently used.
+	for i := 0; i < 10; i++ {
+		c.get(fmt.Sprintf("k%d", i))
+	}
+	// Overflow triggers a sweep back to ~90% capacity.
+	for i := 50; i < 60; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if got := c.len(); got > 50 {
+		t.Fatalf("len after eviction = %d, want ≤ 50", got)
+	}
+	// The recently-touched keys must have survived.
+	for i := 0; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recently used k%d was evicted", i)
+		}
+	}
+}
+
+func TestReadCacheNilSafe(t *testing.T) {
+	var c *readCache
+	if _, ok := c.get("a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.put("a", []byte("v")) // must not panic
+	if c.len() != 0 {
+		t.Fatal("nil cache len")
+	}
+}
+
+// TestReadCacheConcurrent exercises the lock-free paths under the race
+// detector: concurrent gets, puts, and eviction sweeps.
+func TestReadCacheConcurrent(t *testing.T) {
+	c := newReadCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%200)
+				if _, ok := c.get(key); !ok {
+					c.put(key, []byte(key))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.len(); got <= 0 || got > 200 {
+		t.Fatalf("len after concurrent churn = %d", got)
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		k    int64
+		want int64
+	}{
+		{[]int64{5}, 1, 5},
+		{[]int64{3, 1, 2}, 1, 1},
+		{[]int64{3, 1, 2}, 2, 2},
+		{[]int64{3, 1, 2}, 3, 3},
+		{[]int64{7, 7, 1, 7}, 2, 7},
+		{[]int64{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, 4, 3},
+	}
+	for _, tc := range cases {
+		in := append([]int64(nil), tc.in...)
+		if got := kthSmallest(in, tc.k); got != tc.want {
+			t.Errorf("kthSmallest(%v, %d) = %d, want %d", tc.in, tc.k, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+// ScoreCounts evaluates S(q, C) from set cardinalities alone: |q|, |C|, and
+// |q ∩ C|. It is the allocation-free twin of Score for callers that already
+// know the intersection size — the inverted read index accumulates
+// per-category intersection counts from postings and never materializes the
+// intersections themselves.
+//
+// The arithmetic mirrors Score's float operations term for term (same
+// divisions, same AtLeast thresholds), so for canonical sets
+//
+//	Score(v, q, c, delta) == ScoreCounts(v, q.Len(), c.Len(), q.IntersectSize(c), delta)
+//
+// holds bit for bit; TestScoreCountsMatchesScore pins the equivalence.
+func ScoreCounts(v Variant, qLen, cLen, inter int, delta float64) float64 {
+	switch v {
+	case CutoffJaccard:
+		if j := jaccardCounts(qLen, cLen, inter); AtLeast(j, delta) {
+			return j
+		}
+		return 0
+	case ThresholdJaccard:
+		if AtLeast(jaccardCounts(qLen, cLen, inter), delta) {
+			return 1
+		}
+		return 0
+	case CutoffF1:
+		if f := f1Counts(qLen, cLen, inter); AtLeast(f, delta) {
+			return f
+		}
+		return 0
+	case ThresholdF1:
+		if AtLeast(f1Counts(qLen, cLen, inter), delta) {
+			return 1
+		}
+		return 0
+	case PerfectRecall:
+		// q ⊆ C ⟺ |q∩C| = |q| (sets are canonical), and p(q,C) = |q∩C|/|C|
+		// with the empty-category-scores-0 convention.
+		if inter == qLen && cLen > 0 && AtLeast(float64(inter)/float64(cLen), delta) {
+			return 1
+		}
+		// Score's q.SubsetOf(c) with both empty passes Precision = 0 only at
+		// degenerate thresholds; reproduce that corner exactly.
+		if qLen == 0 && cLen == 0 && AtLeast(0, delta) {
+			return 1
+		}
+		return 0
+	case Exact:
+		if inter == qLen && inter == cLen {
+			return 1
+		}
+		return 0
+	default:
+		panic("sim: ScoreCounts called with invalid variant")
+	}
+}
+
+// jaccardCounts mirrors intset.Set.Jaccard: |q∩C| / |q∪C|, J(∅,∅) = 1.
+func jaccardCounts(qLen, cLen, inter int) float64 {
+	if qLen == 0 && cLen == 0 {
+		return 1
+	}
+	return float64(inter) / float64(qLen+cLen-inter)
+}
+
+// f1Counts mirrors F1: 2|q∩C| / (|q|+|C|) with the empty-set conventions.
+func f1Counts(qLen, cLen, inter int) float64 {
+	if qLen == 0 && cLen == 0 {
+		return 1
+	}
+	if qLen == 0 || cLen == 0 {
+		return 0
+	}
+	return 2 * float64(inter) / float64(qLen+cLen)
+}

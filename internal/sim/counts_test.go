@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/xrand"
+)
+
+// TestScoreCountsMatchesScore pins the bit-for-bit equivalence between the
+// set-based and count-based scorers over randomized set pairs, including
+// empty sets, disjoint sets, subsets, and equal sets, across the δ grid.
+func TestScoreCountsMatchesScore(t *testing.T) {
+	rng := xrand.New(11)
+	randomSet := func(universe, maxLen int) intset.Set {
+		n := rng.Intn(maxLen + 1)
+		items := make([]intset.Item, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, intset.Item(rng.Intn(universe)))
+		}
+		return intset.New(items...)
+	}
+	deltas := []float64{0, 0.2, 0.5, 0.8, 1}
+	for trial := 0; trial < 2000; trial++ {
+		q := randomSet(30, 12)
+		var c intset.Set
+		switch trial % 4 {
+		case 0:
+			c = randomSet(30, 12) // generic overlap
+		case 1:
+			c = q.Clone() // equal
+		case 2: // superset of q
+			c = q.Union(randomSet(30, 6))
+		default: // disjoint
+			c = randomSet(30, 8)
+			c = c.Diff(q)
+		}
+		inter := q.IntersectSize(c)
+		for _, v := range Variants() {
+			for _, delta := range deltas {
+				want := Score(v, q, c, delta)
+				got := ScoreCounts(v, q.Len(), c.Len(), inter, delta)
+				if got != want {
+					t.Fatalf("trial %d %s δ=%v q=%v c=%v: ScoreCounts=%v Score=%v",
+						trial, v, delta, q, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreCountsEmptyConventions spells out the empty-set corners the
+// randomized trial may or may not hit.
+func TestScoreCountsEmptyConventions(t *testing.T) {
+	cases := []struct {
+		v                 Variant
+		qLen, cLen, inter int
+		delta             float64
+		want              float64
+	}{
+		{CutoffJaccard, 0, 0, 0, 0.5, 1},  // J(∅,∅) = 1
+		{ThresholdJaccard, 0, 0, 0, 1, 1}, // J(∅,∅) = 1 ≥ 1
+		{CutoffF1, 0, 5, 0, 0.5, 0},       // F1 with one empty side = 0
+		{PerfectRecall, 0, 5, 0, 0.5, 0},  // ∅ ⊆ C but p = 0 < δ
+		{PerfectRecall, 0, 0, 0, 0, 1},    // both empty at degenerate δ
+		{Exact, 0, 0, 0, 0.9, 1},          // ∅ = ∅
+		{Exact, 2, 2, 1, 0.9, 0},          // same sizes, different sets
+	}
+	for _, tc := range cases {
+		if got := ScoreCounts(tc.v, tc.qLen, tc.cLen, tc.inter, tc.delta); got != tc.want {
+			t.Errorf("ScoreCounts(%s, %d, %d, %d, %v) = %v, want %v",
+				tc.v, tc.qLen, tc.cLen, tc.inter, tc.delta, got, tc.want)
+		}
+	}
+}
