@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fmt fuzz bench bench-baseline bench-gate scale-smoke
+.PHONY: all build test race lint fmt fuzz bench bench-baseline bench-gate scale-smoke flight-dump
 
 all: build lint test
 
@@ -55,6 +55,14 @@ bench-baseline:
 bench-gate:
 	$(GO) test $(BENCH_GATE_ARGS) $(BENCH_GATE_PKGS) > bench_new.txt
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.txt -new bench_new.txt
+
+# Capture a flight-recorder diagnostics bundle (wide-event ring, SLO burn
+# rates, retained Chrome traces, Prometheus metrics, goroutine profile) by
+# replaying a deterministic read-path workload in-process. CI runs this on
+# test or bench-gate failure and uploads the bundle as an artifact.
+FLIGHT_OUT ?= flight-dump
+flight-dump:
+	$(GO) run ./cmd/flightdump -out $(FLIGHT_OUT)
 
 # The past-the-ceiling CCT run: a 50k-set synthetic build through the
 # scaled clustering strategies plus their micro-benchmarks. SCALEFLAGS=-short

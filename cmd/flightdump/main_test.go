@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesBundle replays a small workload and checks every artifact the
+// CI failure path uploads is present and well-formed.
+func TestRunWritesBundle(t *testing.T) {
+	out := t.TempDir()
+	if err := run(out, 400, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"requests.json", "slo.json", "traces.json", "metrics.prom", "goroutine.txt"} {
+		data, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+
+	var reqs struct {
+		Total    int `json:"total"`
+		Requests []struct {
+			TraceID string `json:"trace_id"`
+			Status  int    `json:"status"`
+		} `json:"requests"`
+	}
+	data, _ := os.ReadFile(filepath.Join(out, "requests.json"))
+	if err := json.Unmarshal(data, &reqs); err != nil {
+		t.Fatal(err)
+	}
+	if reqs.Total == 0 || len(reqs.Requests) == 0 {
+		t.Fatalf("empty ring: %+v", reqs)
+	}
+
+	// The pre-publish 503s and forced requests both retain, so the traces
+	// directory has per-id Chrome trace files.
+	var listing struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Reason  string `json:"reason"`
+		} `json:"traces"`
+	}
+	data, _ = os.ReadFile(filepath.Join(out, "traces.json"))
+	if err := json.Unmarshal(data, &listing); err != nil {
+		t.Fatal(err)
+	}
+	reasons := map[string]bool{}
+	for _, tr := range listing.Traces {
+		reasons[tr.Reason] = true
+		body, err := os.ReadFile(filepath.Join(out, "traces", tr.TraceID+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), `"traceEvents"`) {
+			t.Fatalf("trace %s is not Chrome trace JSON", tr.TraceID)
+		}
+	}
+	if !reasons["error"] || !reasons["forced"] {
+		t.Fatalf("retention reasons = %v, want both error and forced", reasons)
+	}
+
+	if data, _ := os.ReadFile(filepath.Join(out, "goroutine.txt")); !strings.Contains(string(data), "goroutine") {
+		t.Fatal("goroutine.txt is not a goroutine profile")
+	}
+}

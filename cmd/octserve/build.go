@@ -289,7 +289,16 @@ func (s *server) startAsyncBuild(w http.ResponseWriter, spec buildSpec) {
 func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, spec buildSpec) {
 	defer cancel()
 	t0 := time.Now()
-	resp, built, err := runBuild(ctx, spec, j.reg)
+	var (
+		resp  *buildResponse
+		built *tree.Tree
+		err   error
+	)
+	// Label the whole job so pprof samples from async builds slice by
+	// endpoint/algorithm just like read-path samples slice by endpoint.
+	obs.DoLabels(ctx, []string{"endpoint", "build", "algorithm", spec.algorithm}, func(ctx context.Context) {
+		resp, built, err = runBuild(ctx, spec, j.reg)
+	})
 	state := jobDone
 	msg := ""
 	switch {

@@ -40,12 +40,25 @@
 //	GET /healthz             liveness (always 200 while serving)
 //	GET /readyz              readiness: snapshot published, job registry
 //	                         headroom
-//	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof)
+//	GET /debug/requests      flight recorder: recent per-request wide events
+//	                         (endpoint, trace id, latency, status, cache,
+//	                         snapshot version, candidates), filterable by
+//	                         ?endpoint= &status= &min_latency= &limit=
+//	GET /debug/traces        retained tail-sampled traces (slow / errored /
+//	                         force-sampled requests); ?debug=1 or the
+//	                         X-Flight-Sample: 1 header forces retention
+//	GET /debug/traces/{id}   one retained trace as Chrome trace JSON
+//	GET /debug/slo           rolling availability + latency burn-rate gauges
+//	                         computed from the wide-event ring
+//	GET /debug/pprof/        CPU/heap/goroutine profiling (with -pprof);
+//	                         samples carry endpoint/stage pprof labels
 //
-// Every request gets a trace id (echoed as X-Trace-Id) and one structured
-// access-log line; -log selects text or JSON log output. The server shuts
-// down gracefully on SIGINT or SIGTERM: in-flight async jobs are canceled
-// through their contexts, then HTTP requests drain for up to 10 seconds.
+// Every request gets a trace id (echoed as X-Trace-Id; a well-formed inbound
+// X-Trace-Id is adopted, continuing the caller's trace) and one structured
+// access-log line; -log selects text or JSON log output. -flight-ring and
+// -trace-retain size the flight recorder. The server shuts down gracefully
+// on SIGINT or SIGTERM: in-flight async jobs are canceled through their
+// contexts, then HTTP requests drain for up to 10 seconds.
 package main
 
 import (
@@ -79,6 +92,8 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay fetchable")
 		buildTimeout = flag.Duration("build-timeout", 60*time.Second, "static sync /build deadline and upper bound of the adaptive one")
 		readCache    = flag.Int("read-cache", 0, "per-snapshot response cache entries for /categorize and /navigate (0 = default 4096, negative disables)")
+		flightRing   = flag.Int("flight-ring", 0, "flight recorder wide-event ring size (0 = default 4096, negative disables the recorder)")
+		traceRetain  = flag.Int("trace-retain", 0, "retained tail-sampled traces for /debug/traces (0 = default 256)")
 	)
 	flag.Parse()
 	logger := olog.Setup(*logFormat)
@@ -110,6 +125,8 @@ func main() {
 		JobTTL:        *jobTTL,
 		BuildTimeout:  *buildTimeout,
 		ReadCacheSize: *readCache,
+		FlightRing:    *flightRing,
+		TraceRetain:   *traceRetain,
 	})
 	fatal(err)
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"categorytree/internal/obs"
+	"categorytree/internal/obs/flight"
 	olog "categorytree/internal/obs/log"
 	"categorytree/internal/oct"
 	"categorytree/internal/search"
@@ -55,6 +56,11 @@ type serverOptions struct {
 	// ReadCacheSize bounds each snapshot's response cache for /categorize and
 	// /navigate (0 = serve's default, negative disables caching).
 	ReadCacheSize int
+	// FlightRing bounds the flight recorder's wide-event ring (0 = flight's
+	// default 4096, negative disables the recorder entirely); TraceRetain
+	// bounds its retained tail-sampled trace store (0 = 256).
+	FlightRing  int
+	TraceRetain int
 }
 
 // server holds the serving state: the snapshot publisher (the only route to
@@ -72,6 +78,7 @@ type server struct {
 	log     *slog.Logger
 	jobs    *jobRegistry
 	timeout *timeoutController
+	flight  *flight.Recorder // nil when disabled (-flight-ring < 0)
 	start   time.Time
 
 	// baseCtx parents every async job; closing the server cancels it, which
@@ -110,6 +117,13 @@ func newServer(opts serverOptions) (*server, error) {
 		cancel:  cancel,
 	}
 	s.timeout = newTimeoutController(reg.Histogram("http.build/latency"), opts.BuildTimeout)
+	if opts.FlightRing >= 0 {
+		s.flight = flight.New(flight.Options{
+			RingSize:     opts.FlightRing,
+			RetainTraces: opts.TraceRetain,
+			Registry:     reg,
+		})
+	}
 	if opts.TitlesPath != "" {
 		f, err := os.Open(opts.TitlesPath)
 		if err != nil {
@@ -164,6 +178,13 @@ func newServer(opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	// Flight-recorder zpages. Registered unconditionally: the handlers
+	// answer 503 when the recorder is disabled, which beats a 404 that looks
+	// like a typo'd URL.
+	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug_requests", s.flight.ServeRequests))
+	s.mux.HandleFunc("GET /debug/traces", s.instrument("debug_traces", s.flight.ServeTraces))
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.instrument("debug_trace", s.flight.ServeTrace))
+	s.mux.HandleFunc("GET /debug/slo", s.instrument("debug_slo", s.flight.ServeSLO))
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", s.instrument("pprof", pprof.Index))
 		s.mux.HandleFunc("/debug/pprof/cmdline", s.instrument("pprof_cmdline", pprof.Cmdline))
@@ -179,10 +200,15 @@ func newServer(opts serverOptions) (*server, error) {
 // not hold the drain open.
 func (s *server) Close() { s.cancel() }
 
-// ServeHTTP implements http.Handler: it assigns the request a trace id,
-// serves it, and emits one structured access-log line.
+// ServeHTTP implements http.Handler: it assigns the request a trace id
+// (honoring a well-formed inbound X-Trace-Id, so an upstream caller's id
+// continues through logs, exemplars, and retained traces), serves it, and
+// emits one structured access-log line.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := newTraceID()
+	id := inboundTraceID(r)
+	if id == "" {
+		id = newTraceID()
+	}
 	ctx := obs.WithTraceID(r.Context(), id)
 	r = r.WithContext(ctx)
 	w.Header().Set("X-Trace-Id", id)
@@ -200,6 +226,31 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // newTraceID returns a fresh request trace id (8 random bytes, hex).
 func newTraceID() string { return randomHexID() }
+
+// inboundTraceID returns the request's X-Trace-Id header when it is safe to
+// adopt (1–64 chars of [A-Za-z0-9_-], so log lines and zpage URLs cannot be
+// polluted), or "" to mint a fresh id.
+func inboundTraceID(r *http.Request) string {
+	id := r.Header.Get("X-Trace-Id")
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// forceSample reports whether the request asked for unconditional flight
+// retention: ?debug=1 or the X-Flight-Sample: 1 header.
+func forceSample(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "1" || r.Header.Get("X-Flight-Sample") == "1"
+}
 
 // responseRecorder captures status and byte count for the access log and the
 // error counters, and forwards Flush so streaming responses (SSE) work
@@ -228,23 +279,35 @@ func (w *responseRecorder) Flush() {
 }
 
 // instrument wraps a handler with per-endpoint observability: a request
-// counter, an error counter (status ≥ 400), and a latency histogram, all
-// named under "http.<endpoint>".
+// counter, an error counter (status ≥ 400), a latency histogram whose
+// buckets carry the request's trace id as an exemplar, the flight recorder's
+// wide event + tail-sampling decision, and an `endpoint` pprof label so CPU
+// and goroutine profiles attribute samples by request class. It also scopes
+// the request context to the server's registry, which is what routes the
+// read path's spans (read.categorize, read.navigate) into /metrics.
 func (s *server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	requests := s.reg.Counter("http." + name + "/requests")
 	errors := s.reg.Counter("http." + name + "/errors")
 	latency := s.reg.Histogram("http." + name + "/latency")
+	endpoint := s.flight.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		// Counted on entry so a handler's own snapshot (e.g. /metrics)
 		// includes the request serving it.
 		requests.Inc()
 		sw := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		ctx := obs.WithRegistry(r.Context(), s.reg)
+		traceID := obs.TraceID(ctx)
+		fq, ctx := endpoint.StartAt(ctx, traceID, forceSample(r), t0)
+		obs.DoLabels(ctx, []string{"endpoint", name}, func(ctx context.Context) {
+			h(sw, r.WithContext(ctx))
+		})
 		if sw.status >= 400 {
 			errors.Inc()
 		}
-		latency.Observe(time.Since(t0))
+		d := time.Since(t0)
+		latency.ObserveTrace(d, traceID)
+		fq.FinishLatency(sw.status, d)
 	}
 }
 

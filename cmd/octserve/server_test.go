@@ -14,7 +14,7 @@ import (
 	"categorytree/internal/tree"
 )
 
-func testServer(t *testing.T) *server {
+func testServer(t *testing.T, mutate ...func(*serverOptions)) *server {
 	t.Helper()
 	tr := tree.New(intset.Range(0, 6))
 	a := tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
@@ -27,10 +27,14 @@ func testServer(t *testing.T) *server {
 	// A fresh registry per server keeps the request-count assertions
 	// independent of other tests and of the pipeline packages; the discard
 	// logger keeps access-log lines out of test output.
-	s, err := newServer(serverOptions{
+	opts := serverOptions{
 		Tree: tr, Instance: inst, Variant: "threshold-jaccard", Delta: 0.6,
 		Registry: obs.NewRegistry(), Logger: discardLogger(),
-	})
+	}
+	for _, m := range mutate {
+		m(&opts)
+	}
+	s, err := newServer(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

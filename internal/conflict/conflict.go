@@ -279,64 +279,68 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			t0 := time.Now()
-			defer func() {
-				results[w].elapsed = time.Since(t0)
-				workerTimer.Observe(results[w].elapsed)
-			}()
-			canceled := obs.CancelEveryChan(done, 1)
-			counts := make([]int32, n)  // |I| per partner
-			counts1 := make([]int32, n) // |I₁| per partner
-			var partners []int32
-			for a := w; a < n; a += workers {
-				if canceled() {
-					return
-				}
-				if progress != nil {
-					progress.Report(obs.ProgressEvent{
-						Stage: "conflict.analyze", Done: setsDone.Add(1), Total: int64(n)})
-				}
-				partners = partners[:0]
-				qa := inst.Sets[a]
-				for _, it := range qa.Items.Slice() {
-					b1 := !bounded || cfg.Bound(it) == 1
-					for _, b := range postings[it] {
-						if int(b) <= a {
-							continue
-						}
-						if counts[b] == 0 {
-							partners = append(partners, b)
-						}
-						counts[b]++
-						if b1 {
-							counts1[b]++
+			// Stage label: profile samples of the pair sweep attribute to
+			// conflict.pairs instead of an anonymous worker goroutine.
+			obs.DoStage(ctx, "conflict.pairs", func(context.Context) {
+				t0 := time.Now()
+				defer func() {
+					results[w].elapsed = time.Since(t0)
+					workerTimer.Observe(results[w].elapsed)
+				}()
+				canceled := obs.CancelEveryChan(done, 1)
+				counts := make([]int32, n)  // |I| per partner
+				counts1 := make([]int32, n) // |I₁| per partner
+				var partners []int32
+				for a := w; a < n; a += workers {
+					if canceled() {
+						return
+					}
+					if progress != nil {
+						progress.Report(obs.ProgressEvent{
+							Stage: "conflict.analyze", Done: setsDone.Add(1), Total: int64(n)})
+					}
+					partners = partners[:0]
+					qa := inst.Sets[a]
+					for _, it := range qa.Items.Slice() {
+						b1 := !bounded || cfg.Bound(it) == 1
+						for _, b := range postings[it] {
+							if int(b) <= a {
+								continue
+							}
+							if counts[b] == 0 {
+								partners = append(partners, b)
+							}
+							counts[b]++
+							if b1 {
+								counts1[b]++
+							}
 						}
 					}
-				}
-				results[w].pairs += int64(len(partners))
-				for _, b := range partners {
-					inter := int(counts[b])
-					inter1 := inter
-					if bounded {
-						inter1 = int(counts1[b])
-					}
-					counts[b], counts1[b] = 0, 0
+					results[w].pairs += int64(len(partners))
+					for _, b := range partners {
+						inter := int(counts[b])
+						inter1 := inter
+						if bounded {
+							inter1 = int(counts1[b])
+						}
+						counts[b], counts1[b] = 0, 0
 
-					ai, bi := oct.SetID(a), oct.SetID(b)
-					hi, lo := ai, bi
-					if less(inst, bi, ai) {
-						hi, lo = bi, ai
-					}
-					pc := coverPair(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
-						base, cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), exact)
-					switch {
-					case !pc.Together && !pc.Separately:
-						results[w].conflicts = append(results[w].conflicts, [2]oct.SetID{ai, bi})
-					case pc.Together && !pc.Separately:
-						results[w].together = append(results[w].together, [2]oct.SetID{ai, bi})
+						ai, bi := oct.SetID(a), oct.SetID(b)
+						hi, lo := ai, bi
+						if less(inst, bi, ai) {
+							hi, lo = bi, ai
+						}
+						pc := coverPair(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
+							base, cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), exact)
+						switch {
+						case !pc.Together && !pc.Separately:
+							results[w].conflicts = append(results[w].conflicts, [2]oct.SetID{ai, bi})
+						case pc.Together && !pc.Separately:
+							results[w].together = append(results[w].together, [2]oct.SetID{ai, bi})
+						}
 					}
 				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -426,48 +430,50 @@ func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			canceled := obs.CancelEveryChan(done, 1)
-			// Epoch-stamped membership arrays: related[x] == epoch means x
-			// is must-together with or in 2-conflict with the current q1.
-			related := make([]uint32, n)
-			epoch := uint32(0)
-			for mid := w; mid < n; mid += workers {
-				if canceled() {
-					return
-				}
-				if progress != nil {
-					progress.Report(obs.ProgressEvent{
-						Stage: "conflict.analyze/triples", Done: setsDone.Add(1), Total: int64(n)})
-				}
-				q2 := oct.SetID(mid)
-				partners := res.MustT[mid]
-				// Partners are sorted by rank. A triple needs q2 not to be
-				// the largest of the three, i.e. at least one partner
-				// ranked above q2 — and since i < j means partners[i] is
-				// the larger, i may only range over those partners.
-				above := 0
-				for above < len(partners) && res.RankOf[partners[above]] < res.RankOf[q2] {
-					above++
-				}
-				for i := 0; i < above; i++ {
-					q1 := partners[i]
-					epoch++
-					for _, x := range res.MustT[q1] {
-						related[x] = epoch
+			obs.DoStage(ctx, "conflict.triples", func(context.Context) {
+				canceled := obs.CancelEveryChan(done, 1)
+				// Epoch-stamped membership arrays: related[x] == epoch means x
+				// is must-together with or in 2-conflict with the current q1.
+				related := make([]uint32, n)
+				epoch := uint32(0)
+				for mid := w; mid < n; mid += workers {
+					if canceled() {
+						return
 					}
-					for _, x := range confOf[q1] {
-						related[x] = epoch
+					if progress != nil {
+						progress.Report(obs.ProgressEvent{
+							Stage: "conflict.analyze/triples", Done: setsDone.Add(1), Total: int64(n)})
 					}
-					for j := i + 1; j < len(partners); j++ {
-						q3 := partners[j]
-						if related[q3] == epoch {
-							continue
+					q2 := oct.SetID(mid)
+					partners := res.MustT[mid]
+					// Partners are sorted by rank. A triple needs q2 not to be
+					// the largest of the three, i.e. at least one partner
+					// ranked above q2 — and since i < j means partners[i] is
+					// the larger, i may only range over those partners.
+					above := 0
+					for above < len(partners) && res.RankOf[partners[above]] < res.RankOf[q2] {
+						above++
+					}
+					for i := 0; i < above; i++ {
+						q1 := partners[i]
+						epoch++
+						for _, x := range res.MustT[q1] {
+							related[x] = epoch
 						}
-						t := sortTriple(q1, q2, q3)
-						parts[w] = append(parts[w], t)
+						for _, x := range confOf[q1] {
+							related[x] = epoch
+						}
+						for j := i + 1; j < len(partners); j++ {
+							q3 := partners[j]
+							if related[q3] == epoch {
+								continue
+							}
+							t := sortTriple(q1, q2, q3)
+							parts[w] = append(parts[w], t)
+						}
 					}
 				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

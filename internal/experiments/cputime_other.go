@@ -1,0 +1,9 @@
+//go:build !unix
+
+package experiments
+
+import "time"
+
+// processCPUTime is unavailable off unix; the serve experiment falls back to
+// wall-clock throughput for its overhead gate.
+func processCPUTime() (time.Duration, bool) { return 0, false }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package experiments
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative CPU time (user + system).
+// The serve experiment gates the flight recorder's overhead on CPU per
+// request rather than wall throughput: a noisy neighbor on the machine can
+// stretch wall time arbitrarily, but it can only ever inflate our CPU time
+// (cache pollution), never deflate it — so min-across-rounds CPU is the
+// robust measurement of what the code itself costs.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), true
+}

@@ -41,8 +41,16 @@ func TestServeRuns(t *testing.T) {
 	if misses == 0 {
 		t.Fatal("no cache misses recorded — the driver measured nothing")
 	}
-	if !strings.Contains(row("p99 latency"), "s") { // "µs", "ms", or "s"
-		t.Fatalf("p99 latency = %q", row("p99 latency"))
+	for _, metric := range []string{"p99 latency", "p99.9 latency", "max latency"} {
+		if !strings.Contains(row(metric), "s") { // "µs", "ms", or "s"
+			t.Fatalf("%s = %q", metric, row(metric))
+		}
+	}
+	if !strings.HasSuffix(row("flight recorder overhead"), "%") {
+		t.Fatalf("flight recorder overhead = %q", row("flight recorder overhead"))
+	}
+	if !strings.HasSuffix(row("baseline throughput (recorder off)"), "req/s") {
+		t.Fatalf("baseline throughput = %q", row("baseline throughput (recorder off)"))
 	}
 }
 

@@ -28,11 +28,17 @@ import (
 //   - in cmd/octserve, every handler registered on an http.ServeMux must go
 //     through the server's instrument wrapper — the wrapper is what records
 //     the per-endpoint request/error counters and latency histogram, so a
-//     raw registration is an endpoint invisible to /metrics.
+//     raw registration is an endpoint invisible to /metrics;
+//   - in internal/serve, every read-path handler (the exact
+//     func(http.ResponseWriter, *http.Request) shape) must open a request
+//     span via obs.StartSpanContext — the span is what the flight recorder
+//     retains when the request tail-samples, so a spanless handler produces
+//     empty /debug/traces entries for exactly the slow requests being
+//     debugged.
 var ObsDiscipline = &lint.Analyzer{
 	Name:  "obsdiscipline",
 	Doc:   "pipeline packages must use the context's obs registry, End every started span on all paths, and log through the structured logger",
-	Match: lint.PathMatcher(append(pipelinePkgs[:len(pipelinePkgs):len(pipelinePkgs)], "cmd/octserve")...),
+	Match: lint.PathMatcher(append(pipelinePkgs[:len(pipelinePkgs):len(pipelinePkgs)], "cmd/octserve", "internal/serve")...),
 	Run:   runObsDiscipline,
 }
 
@@ -67,6 +73,7 @@ var barePrintFuncs = map[string]map[string]bool{
 func runObsDiscipline(pass *lint.Pass) {
 	info := pass.Pkg.Info
 	pipelineOnly := lint.PathMatcher(pipelinePkgs...)(pass.Pkg.Path)
+	servePkg := lint.PathMatcher("internal/serve")(pass.Pkg.Path)
 	for _, file := range pass.Pkg.Files {
 		// Bare prints: everywhere the analyzer runs.
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -88,6 +95,11 @@ func runObsDiscipline(pass *lint.Pass) {
 			}
 			return true
 		})
+		if servePkg {
+			// internal/serve: read-path handlers must open a request span.
+			checkHandlerSpans(pass, file)
+			continue
+		}
 		if !pipelineOnly {
 			// cmd/octserve: handler registrations must be instrument-wrapped.
 			checkHandlerInstrumentation(pass, file)
@@ -180,6 +192,69 @@ func checkHandlerInstrumentation(pass *lint.Pass, file *ast.File) {
 			routePattern(call.Args[0]))
 		return true
 	})
+}
+
+// checkHandlerSpans flags read-path handlers — functions or methods with the
+// exact http.HandlerFunc shape func(http.ResponseWriter, *http.Request) —
+// that never call obs.StartSpanContext. Helpers taking extra parameters or
+// returning values are not handlers and stay exempt.
+func checkHandlerSpans(pass *lint.Pass, file *ast.File) {
+	info := pass.Pkg.Info
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		obj := info.Defs[fn.Name]
+		if obj == nil {
+			continue
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || !isHandlerSig(sig) {
+			continue
+		}
+		startsSpan := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if c := calleeObj(info, call); c != nil && isPkgFunc(c, "internal/obs", "StartSpanContext") {
+				startsSpan = true
+				return false
+			}
+			return true
+		})
+		if !startsSpan {
+			pass.Reportf(fn.Name.Pos(),
+				"read-path handler %s opens no request span; call obs.StartSpanContext so tail-sampled requests retain a trace", fn.Name.Name)
+		}
+	}
+}
+
+// isHandlerSig reports whether sig is exactly
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(sig *types.Signature) bool {
+	params := sig.Params()
+	if params.Len() != 2 || sig.Results().Len() != 0 || sig.Variadic() {
+		return false
+	}
+	ptr, ok := params.At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isHTTPNamed(params.At(0).Type(), "ResponseWriter") &&
+		isHTTPNamed(ptr.Elem(), "Request")
+}
+
+// isHTTPNamed reports whether t is the named net/http type with that name.
+func isHTTPNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // isInstrumentCall reports whether expr is a call to a function or method

@@ -30,6 +30,13 @@ func TestObsDisciplineOctserveFixture(t *testing.T) {
 		filepath.Join("testdata", "obsdiscipline_octserve"), "fix/cmd/octserve", "fmt", "log", "net/http", "os")
 }
 
+// The serve fixture exercises the read-path span check: handler-shaped
+// functions must open a request span; parsing helpers stay exempt.
+func TestObsDisciplineServeFixture(t *testing.T) {
+	linttest.Run(t, rules.ObsDiscipline,
+		filepath.Join("testdata", "obsdiscipline_serve"), "fix/internal/serve", "net/http", "strconv")
+}
+
 func TestFloatEqFixture(t *testing.T) {
 	linttest.Run(t, rules.FloatEq,
 		filepath.Join("testdata", "floateq"), "fix/internal/sim")

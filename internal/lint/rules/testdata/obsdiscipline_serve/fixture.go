@@ -1,0 +1,49 @@
+// Fixture for the obsdiscipline analyzer in the read-serving package:
+// type-checked under the fake import path fix/internal/serve, where every
+// handler-shaped function must open a request span via obs.StartSpanContext
+// — the span is what the flight recorder retains when a request tail-samples.
+package fix
+
+import (
+	"net/http"
+	"strconv"
+
+	"categorytree/internal/obs"
+)
+
+type reader struct{}
+
+// Spanned handlers are fine, as a method or a free function.
+func (rd *reader) Categorize(w http.ResponseWriter, r *http.Request) {
+	sp, _ := obs.StartSpanContext(r.Context(), "read.categorize")
+	defer sp.End()
+	w.WriteHeader(http.StatusOK)
+}
+
+func health(w http.ResponseWriter, r *http.Request) {
+	sp, _ := obs.StartSpanContext(r.Context(), "read.health")
+	defer sp.End()
+}
+
+// Handler-shaped functions without a span are invisible to tail sampling.
+func (rd *reader) Navigate(w http.ResponseWriter, r *http.Request) { // want "opens no request span"
+	w.WriteHeader(http.StatusOK)
+}
+
+func rawHandler(w http.ResponseWriter, r *http.Request) { // want "opens no request span"
+}
+
+// Helpers that merely take (w, r) among other things, or return values, are
+// not handlers: parsing helpers and response writers stay exempt.
+func (rd *reader) simParams(w http.ResponseWriter, r *http.Request) (float64, bool) {
+	d, err := strconv.ParseFloat(r.URL.Query().Get("delta"), 64)
+	if err != nil {
+		http.Error(w, "bad delta", http.StatusBadRequest)
+		return 0, false
+	}
+	return d, true
+}
+
+func writeCached(w http.ResponseWriter, body []byte, hit bool) {
+	w.Write(body)
+}

@@ -32,6 +32,11 @@ func TraceID(ctx context.Context) string {
 // handler attaches it to records so log lines locate themselves in the
 // pipeline without the caller repeating stage names.
 func SpanPath(ctx context.Context) string {
+	// A trace span already carries the full nested name; when one is
+	// current, StartSpanContext skips the separate path value entirely.
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		return sp.Name()
+	}
 	p, _ := ctx.Value(spanPathKey{}).(string)
 	return p
 }
@@ -60,8 +65,13 @@ func FromContext(ctx context.Context) *Registry {
 // callees that StartSpanContext themselves nest under it; pass it down.
 func StartSpanContext(ctx context.Context, name string) (Span, context.Context) {
 	sp := FromContext(ctx).StartSpan(name)
-	sp.tr, ctx = trace.StartSpan(ctx, name)
-	ctx = context.WithValue(ctx, spanPathKey{}, name)
+	sp.tr, ctx = trace.StartSpanAt(ctx, name, sp.start)
+	if sp.tr == nil {
+		// Untraced: carry the span path as its own context value. (Traced
+		// contexts resolve SpanPath from the trace span and skip this
+		// allocation — the read path pays for exactly one context value.)
+		ctx = context.WithValue(ctx, spanPathKey{}, name)
+	}
 	return sp, ctx
 }
 
@@ -71,7 +81,7 @@ func StartSpanContext(ctx context.Context, name string) (Span, context.Context) 
 func (s Span) ChildContext(ctx context.Context, name string) (Span, context.Context) {
 	child := s.Child(name)
 	ctx = trace.ContextWithSpan(ctx, child.tr)
-	if child.name != "" {
+	if child.tr == nil && child.name != "" {
 		ctx = context.WithValue(ctx, spanPathKey{}, child.name)
 	}
 	return child, ctx

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// unthrottled disables exemplar store sampling so every traced observation
+// sticks (production keeps one per exemplarEvery observations).
+func unthrottled(t *testing.T) {
+	t.Helper()
+	old := exemplarEvery
+	exemplarEvery = 1
+	t.Cleanup(func() { exemplarEvery = old })
+}
+
+func TestHistogramExemplarPerBucket(t *testing.T) {
+	unthrottled(t)
+	h := newHistogram()
+	h.Observe(60 * time.Microsecond) // untraced: leaves no exemplar
+	h.ObserveTrace(70*time.Microsecond, "aaaa")
+	h.ObserveTrace(80*time.Microsecond, "bbbb") // same bucket: last writer wins
+	h.ObserveTrace(3*time.Second, "offf")       // overflow bucket
+
+	st := h.stat()
+	var sawTraced, sawOverflow bool
+	for _, b := range st.Buckets {
+		switch {
+		case b.LE == (100 * time.Microsecond).Nanoseconds():
+			sawTraced = true
+			if b.Exemplar == nil || b.Exemplar.TraceID != "bbbb" {
+				t.Errorf("100µs bucket exemplar = %+v, want trace bbbb", b.Exemplar)
+			}
+			if b.Exemplar != nil && b.Exemplar.ValueNS != (80*time.Microsecond).Nanoseconds() {
+				t.Errorf("exemplar value = %d, want 80µs", b.Exemplar.ValueNS)
+			}
+		case b.LE < 0:
+			sawOverflow = true
+			if b.Exemplar == nil || b.Exemplar.TraceID != "offf" {
+				t.Errorf("overflow exemplar = %+v, want trace offf", b.Exemplar)
+			}
+		}
+	}
+	if !sawTraced || !sawOverflow {
+		t.Fatalf("missing expected buckets in %+v", st.Buckets)
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	h := newHistogram()
+	if h.Max() != 0 {
+		t.Fatalf("empty max = %v", h.Max())
+	}
+	h.Observe(200 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Millisecond)
+	if got := h.Max(); got != 5*time.Millisecond {
+		t.Fatalf("max = %v, want 5ms", got)
+	}
+	if st := h.stat(); st.MaxNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("stat max = %d", st.MaxNS)
+	}
+}
+
+func TestPrometheusExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("http.categorize/latency")
+	h.Observe(60 * time.Microsecond)
+	h.ObserveTrace(400*time.Microsecond, "deadbeef")
+
+	var buf strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# {trace_id="deadbeef"} 0.0004`) {
+		t.Errorf("exposition missing exemplar trailer:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE oct_http_categorize_latency_max_seconds gauge\noct_http_categorize_latency_max_seconds 0.0004\n") {
+		t.Errorf("exposition missing histogram max gauge:\n%s", out)
+	}
+	// The untraced 60µs observation lands in the 100µs bucket; its line must
+	// stay a plain two-field sample with no trailer.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.0001"`) && strings.Contains(line, "#") {
+			t.Errorf("untraced bucket line carries a trailer: %q", line)
+		}
+	}
+}
+
+// TestExemplarThrottle pins the sampling contract: the first traced
+// observation into an empty bucket always sticks; later ones only land on
+// every exemplarEvery-th observation.
+func TestExemplarThrottle(t *testing.T) {
+	h := newHistogram()
+	h.ObserveTrace(60*time.Microsecond, "first")
+	h.ObserveTrace(60*time.Microsecond, "second") // throttled away
+	st := h.stat()
+	for _, b := range st.Buckets {
+		if b.LE == (100 * time.Microsecond).Nanoseconds() {
+			if b.Exemplar == nil || b.Exemplar.TraceID != "first" {
+				t.Fatalf("exemplar = %+v, want the first traced observation", b.Exemplar)
+			}
+		}
+	}
+	// Drive the count to the next sampling point; that observation sticks.
+	for h.Count()%exemplarEvery != exemplarEvery-1 {
+		h.Observe(60 * time.Microsecond)
+	}
+	h.ObserveTrace(60*time.Microsecond, "sampled")
+	for _, b := range h.stat().Buckets {
+		if b.LE == (100 * time.Microsecond).Nanoseconds() {
+			if b.Exemplar == nil || b.Exemplar.TraceID != "sampled" {
+				t.Fatalf("exemplar = %+v, want the sampled observation", b.Exemplar)
+			}
+		}
+	}
+}
+
+func TestHistogramDeltaKeepsExemplarAndMax(t *testing.T) {
+	unthrottled(t)
+	h := newHistogram()
+	h.ObserveTrace(70*time.Microsecond, "old")
+	prev := h.stat()
+	h.ObserveTrace(90*time.Microsecond, "new")
+	h.Observe(10 * time.Millisecond)
+	d := h.stat().delta(prev)
+	if d.MaxNS != (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("delta max = %d", d.MaxNS)
+	}
+	found := false
+	for _, b := range d.Buckets {
+		if b.LE == (100*time.Microsecond).Nanoseconds() && b.Exemplar != nil && b.Exemplar.TraceID == "new" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("delta lost the latest exemplar: %+v", d.Buckets)
+	}
+}

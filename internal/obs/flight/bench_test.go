@@ -1,0 +1,52 @@
+package flight
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"categorytree/internal/obs"
+)
+
+// BenchmarkRequestCycle measures the full per-request recorder cost exactly
+// as the serve path pays it: Start, one handler span recorded into the
+// per-request trace recorder, annotations, a traced histogram observe, and
+// Finish (healthy request — nothing retains). This is the number the serve
+// experiment's 5% overhead budget is made of.
+func BenchmarkRequestCycle(b *testing.B) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("http.categorize/latency")
+	rec := New(Options{Registry: reg, LatencyHistogram: func(string) *obs.Histogram { return hist }})
+	ep := rec.Endpoint("categorize")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		q, qctx := ep.StartAt(ctx, "bench-trace", false, t0)
+		sp, _ := obs.StartSpanContext(qctx, "read.categorize")
+		q.SetCache(true)
+		q.SetSnapshotVersion(1)
+		q.SetItems(3)
+		sp.End()
+		hist.ObserveTrace(50*time.Microsecond, "bench-trace")
+		q.FinishLatency(200, 50*time.Microsecond)
+	}
+}
+
+// BenchmarkRequestCycleBaseline is the same handler work with the recorder
+// off — the delta against BenchmarkRequestCycle is the recorder's cost.
+func BenchmarkRequestCycleBaseline(b *testing.B) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("http.categorize/latency")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now() // the instrument wrapper reads the clock with the recorder off too
+		sp, _ := obs.StartSpanContext(ctx, "read.categorize")
+		sp.End()
+		hist.Observe(50 * time.Microsecond)
+		_ = t0
+	}
+}

@@ -1,0 +1,301 @@
+package flight
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"categorytree/internal/obs"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var rec *Recorder
+	q, ctx := rec.Start(context.Background(), "categorize", "abc", false)
+	if q != nil {
+		t.Fatal("nil recorder returned a live request")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil recorder attached a request to the context")
+	}
+	q.SetCache(true)
+	q.SetItems(3)
+	q.ForceSample()
+	if ev := q.Finish(200); ev != (Event{}) {
+		t.Fatalf("nil request finish = %+v", ev)
+	}
+	if rec.Events() != nil || rec.Retained() != 0 || rec.Trace("x") != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestRingRecordsNewestFirst(t *testing.T) {
+	rec := New(Options{RingSize: 4})
+	for i := 0; i < 6; i++ {
+		q, _ := rec.Start(context.Background(), "categorize", fmt.Sprintf("id-%d", i), false)
+		q.Finish(200)
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, want := range []string{"id-5", "id-4", "id-3", "id-2"} {
+		if evs[i].TraceID != want {
+			t.Errorf("evs[%d] = %s, want %s", i, evs[i].TraceID, want)
+		}
+	}
+}
+
+func TestForcedAndErrorRetention(t *testing.T) {
+	rec := New(Options{RingSize: 8, RetainTraces: 8})
+
+	q, ctx := rec.Start(context.Background(), "categorize", "forced-1", true)
+	sp, _ := obs.StartSpanContext(ctx, "read.categorize")
+	sp.End()
+	q.SetCache(false)
+	q.SetSnapshotVersion(7)
+	ev := q.Finish(200)
+	if !ev.Retained || ev.Reason != "forced" {
+		t.Fatalf("forced request not retained: %+v", ev)
+	}
+
+	q2, _ := rec.Start(context.Background(), "categorize", "err-1", false)
+	if ev := q2.Finish(503); !ev.Retained || ev.Reason != "error" {
+		t.Fatalf("5xx request not retained: %+v", ev)
+	}
+
+	q3, _ := rec.Start(context.Background(), "categorize", "ok-1", false)
+	if ev := q3.Finish(200); ev.Retained {
+		t.Fatalf("healthy request retained: %+v", ev)
+	}
+
+	if rec.Retained() != 2 {
+		t.Fatalf("retained = %d, want 2", rec.Retained())
+	}
+	rt := rec.Trace("forced-1")
+	if rt == nil {
+		t.Fatal("forced trace not fetchable")
+	}
+	if rt.Event.SnapshotVersion != 7 || rt.Event.Cache != "miss" {
+		t.Fatalf("wide event lost annotations: %+v", rt.Event)
+	}
+	if len(rt.Spans) != 1 || rt.Spans[0].Name != "read.categorize" {
+		t.Fatalf("span tree = %+v, want the read.categorize span", rt.Spans)
+	}
+}
+
+func TestAdaptiveSlowThreshold(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("http.categorize/latency")
+	rec := New(Options{Registry: reg, MinSamples: 10})
+
+	// Below MinSamples the threshold stays off: nothing retains as slow.
+	q, _ := rec.Start(context.Background(), "categorize", "early", false)
+	if ev := q.Finish(200); ev.Retained {
+		t.Fatalf("retained before the threshold exists: %+v", ev)
+	}
+
+	// Feed the histogram a tight distribution; p99 lands at the 100µs bound.
+	for i := 0; i < 1000; i++ {
+		hist.Observe(60 * time.Microsecond)
+	}
+	// Force a threshold refresh (cached for thresholdRefresh finishes).
+	for i := 0; i < thresholdRefresh+1; i++ {
+		q, _ := rec.Start(context.Background(), "categorize", fmt.Sprintf("warm-%d", i), false)
+		q.Finish(200)
+	}
+	if thr := rec.SlowThreshold("categorize"); thr != 100*time.Microsecond {
+		t.Fatalf("threshold = %v, want 100µs", thr)
+	}
+
+	// A request far over the threshold retains as slow. Start it, sleep past
+	// the cutoff, finish.
+	slow, _ := rec.Start(context.Background(), "categorize", "slow-1", false)
+	time.Sleep(2 * time.Millisecond)
+	ev := slow.Finish(200)
+	if !ev.Retained || ev.Reason != "slow" {
+		t.Fatalf("slow request not retained: %+v (threshold %v)", ev, rec.SlowThreshold("categorize"))
+	}
+}
+
+func TestStoreEvictsOldestRetention(t *testing.T) {
+	rec := New(Options{RetainTraces: 3})
+	for i := 0; i < 5; i++ {
+		q, _ := rec.Start(context.Background(), "nav", fmt.Sprintf("t-%d", i), true)
+		q.Finish(200)
+	}
+	if rec.Retained() != 3 {
+		t.Fatalf("retained = %d, want 3", rec.Retained())
+	}
+	if rec.Trace("t-0") != nil || rec.Trace("t-1") != nil {
+		t.Fatal("oldest retentions not evicted")
+	}
+	if rec.Trace("t-4") == nil {
+		t.Fatal("newest retention missing")
+	}
+}
+
+// TestConcurrentRecordReadRotate is the race-mode coverage for the ring and
+// the retained store: writers finish requests (rotating the ring many laps)
+// while readers snapshot the ring, list and fetch traces, and serve zpages —
+// the categorize-during-publish pattern from internal/serve applied to the
+// recorder. Run with -race.
+func TestConcurrentRecordReadRotate(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(Options{RingSize: 64, RetainTraces: 16, Registry: reg})
+
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				force := i%97 == 0
+				q, ctx := rec.Start(context.Background(), "categorize", fmt.Sprintf("w%d-%d", w, i), force)
+				sp, _ := obs.StartSpanContext(ctx, "read.categorize")
+				sp.End()
+				q.SetCache(i%2 == 0)
+				q.SetItems(i % 7)
+				status := 200
+				if i%151 == 0 {
+					status = 503
+				}
+				q.Finish(status)
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := rec.Events()
+				for i := 1; i < len(evs); i++ {
+					if evs[i].TraceID == "" {
+						t.Error("snapshot returned an empty event")
+						return
+					}
+				}
+				for _, ev := range rec.store.list() {
+					rec.Trace(ev.TraceID)
+				}
+				w := httptest.NewRecorder()
+				rec.ServeRequests(w, httptest.NewRequest("GET", "/debug/requests?limit=10", nil))
+				w = httptest.NewRecorder()
+				rec.ServeSLO(w, httptest.NewRequest("GET", "/debug/slo", nil))
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	evs := rec.Events()
+	if len(evs) != 64 {
+		t.Fatalf("ring snapshot has %d events, want full 64", len(evs))
+	}
+	if rec.Retained() != 16 {
+		t.Fatalf("retained = %d, want the full store 16", rec.Retained())
+	}
+	if got := reg.Counter("flight/recorded").Value(); got != writers*perWriter {
+		t.Fatalf("flight/recorded = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestZPages(t *testing.T) {
+	rec := New(Options{RingSize: 16, RetainTraces: 4})
+	for i := 0; i < 3; i++ {
+		q, ctx := rec.Start(context.Background(), "categorize", fmt.Sprintf("c-%d", i), i == 0)
+		sp, _ := obs.StartSpanContext(ctx, "read.categorize")
+		sp.End()
+		q.Finish(200)
+	}
+	q, _ := rec.Start(context.Background(), "navigate", "n-0", false)
+	time.Sleep(time.Millisecond)
+	q.Finish(503)
+
+	// /debug/requests with filters.
+	w := httptest.NewRecorder()
+	rec.ServeRequests(w, httptest.NewRequest("GET", "/debug/requests?endpoint=categorize", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"c-2"`) || strings.Contains(w.Body.String(), `"n-0"`) {
+		t.Fatalf("endpoint filter: code %d body %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	rec.ServeRequests(w, httptest.NewRequest("GET", "/debug/requests?status=503", nil))
+	if !strings.Contains(w.Body.String(), `"n-0"`) || strings.Contains(w.Body.String(), `"c-1"`) {
+		t.Fatalf("status filter: %s", w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	rec.ServeRequests(w, httptest.NewRequest("GET", "/debug/requests?min_latency=1ms", nil))
+	if !strings.Contains(w.Body.String(), `"n-0"`) || strings.Contains(w.Body.String(), `"c-0"`) {
+		t.Fatalf("min_latency filter: %s", w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	rec.ServeRequests(w, httptest.NewRequest("GET", "/debug/requests?min_latency=bogus", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad min_latency: code %d", w.Code)
+	}
+
+	// /debug/traces lists the forced and errored requests.
+	w = httptest.NewRecorder()
+	rec.ServeTraces(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	body := w.Body.String()
+	if !strings.Contains(body, `"c-0"`) || !strings.Contains(body, `"n-0"`) || strings.Contains(body, `"c-1"`) {
+		t.Fatalf("traces list: %s", body)
+	}
+
+	// /debug/traces/{id} renders Chrome trace JSON with the span tree.
+	req := httptest.NewRequest("GET", "/debug/traces/c-0", nil)
+	req.SetPathValue("id", "c-0")
+	w = httptest.NewRecorder()
+	rec.ServeTrace(w, req)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"traceEvents"`) ||
+		!strings.Contains(w.Body.String(), `"read.categorize"`) {
+		t.Fatalf("trace export: code %d body %s", w.Code, w.Body.String())
+	}
+	req = httptest.NewRequest("GET", "/debug/traces/nope", nil)
+	req.SetPathValue("id", "nope")
+	w = httptest.NewRecorder()
+	rec.ServeTrace(w, req)
+	if w.Code != 404 {
+		t.Fatalf("missing trace: code %d", w.Code)
+	}
+
+	// /debug/slo aggregates both endpoints.
+	w = httptest.NewRecorder()
+	rec.ServeSLO(w, httptest.NewRequest("GET", "/debug/slo", nil))
+	body = w.Body.String()
+	if !strings.Contains(body, `"endpoint": "categorize"`) || !strings.Contains(body, `"endpoint": "navigate"`) {
+		t.Fatalf("slo endpoints: %s", body)
+	}
+	if !strings.Contains(body, `"availability": 0`) { // navigate: 1 request, 1 error
+		t.Fatalf("slo availability: %s", body)
+	}
+}
+
+func TestQuantileIndex(t *testing.T) {
+	if i := quantileIndex(1, 0.99); i != 0 {
+		t.Errorf("n=1 p99 -> %d", i)
+	}
+	if i := quantileIndex(100, 0.50); i != 49 {
+		t.Errorf("n=100 p50 -> %d", i)
+	}
+	if i := quantileIndex(100, 0.999); i != 99 {
+		t.Errorf("n=100 p999 -> %d", i)
+	}
+}

@@ -19,28 +19,70 @@ var bucketBounds = func() []time.Duration {
 	return out
 }()
 
+// Exemplar is one concrete observation remembered alongside a histogram
+// bucket: a recent traced request that landed there. It is the bridge from
+// an aggregate ("p99 is 400µs") to a specific retained trace ("this request
+// was 412µs — open /debug/traces/<trace_id>").
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	ValueNS int64  `json:"value_ns"`
+}
+
+// exemplarEvery throttles exemplar stores: a traced observation replaces a
+// bucket's exemplar only on every Nth histogram observation (the first into
+// an empty bucket always sticks). Unthrottled, every request allocates an
+// Exemplar and hammers the same atomic pointer from all cores — measurable
+// at read-path rates, and an exemplar seconds old is exactly as useful as
+// one from the current microsecond. Tests set this to 1 for determinism.
+var exemplarEvery int64 = 64
+
 // Histogram records a latency distribution in fixed exponential buckets.
 type Histogram struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
+	maxNS   atomic.Int64
 	buckets []atomic.Int64 // len(bucketBounds)+1; last is overflow
+	// exemplars holds, per bucket, the most recent traced observation
+	// (nil until a traced request lands there). Last-writer-wins is the
+	// semantics: exemplars identify a representative, not an extreme.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram() *Histogram {
-	return &Histogram{buckets: make([]atomic.Int64, len(bucketBounds)+1)}
+	return &Histogram{
+		buckets:   make([]atomic.Int64, len(bucketBounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bucketBounds)+1),
+	}
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNS.Add(d.Nanoseconds())
-	for i, b := range bucketBounds {
-		if d <= b {
-			h.buckets[i].Add(1)
-			return
+func (h *Histogram) Observe(d time.Duration) { h.observe(d, "") }
+
+// ObserveTrace records one duration and, when traceID is non-empty, stamps
+// it as the bucket's exemplar so the exposition can point at the trace.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID string) { h.observe(d, traceID) }
+
+func (h *Histogram) observe(d time.Duration, traceID string) {
+	ns := d.Nanoseconds()
+	n := h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
 		}
 	}
-	h.buckets[len(h.buckets)-1].Add(1)
+	idx := len(h.buckets) - 1
+	for i, b := range bucketBounds {
+		if d <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	if traceID != "" && (n%exemplarEvery == 0 || h.exemplars[idx].Load() == nil) {
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, ValueNS: ns})
+	}
 }
 
 // Count returns the number of observations.
@@ -48,6 +90,9 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Max returns the largest single observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
 
 // Quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the bound
 // of the first bucket whose cumulative count reaches q·total. Observations
@@ -81,6 +126,9 @@ type Bucket struct {
 	LE int64 `json:"le_ns"`
 	// Count is the number of observations within the bound (non-cumulative).
 	Count int64 `json:"count"`
+	// Exemplar is the most recent traced observation in this bucket, when
+	// any traced request landed here.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistStat is the exported state of one Histogram. Empty buckets are
@@ -88,11 +136,12 @@ type Bucket struct {
 type HistStat struct {
 	Count   int64    `json:"count"`
 	SumNS   int64    `json:"sum_ns"`
+	MaxNS   int64    `json:"max_ns,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) stat() HistStat {
-	s := HistStat{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	s := HistStat{Count: h.count.Load(), SumNS: h.sumNS.Load(), MaxNS: h.maxNS.Load()}
 	for i := range h.buckets {
 		c := h.buckets[i].Load()
 		if c == 0 {
@@ -102,7 +151,7 @@ func (h *Histogram) stat() HistStat {
 		if i < len(bucketBounds) {
 			le = bucketBounds[i].Nanoseconds()
 		}
-		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: c})
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: c, Exemplar: h.exemplars[i].Load()})
 	}
 	return s
 }
@@ -133,16 +182,17 @@ func (h HistStat) Quantile(q float64) time.Duration {
 	return maxBound
 }
 
-// delta subtracts a previous snapshot of the same histogram.
+// delta subtracts a previous snapshot of the same histogram. Maxima and
+// exemplars are not subtractable; the delta keeps the later reading.
 func (h HistStat) delta(prev HistStat) HistStat {
 	prevBy := make(map[int64]int64, len(prev.Buckets))
 	for _, b := range prev.Buckets {
 		prevBy[b.LE] = b.Count
 	}
-	d := HistStat{Count: h.Count - prev.Count, SumNS: h.SumNS - prev.SumNS}
+	d := HistStat{Count: h.Count - prev.Count, SumNS: h.SumNS - prev.SumNS, MaxNS: h.MaxNS}
 	for _, b := range h.Buckets {
 		if c := b.Count - prevBy[b.LE]; c != 0 {
-			d.Buckets = append(d.Buckets, Bucket{LE: b.LE, Count: c})
+			d.Buckets = append(d.Buckets, Bucket{LE: b.LE, Count: c, Exemplar: b.Exemplar})
 		}
 	}
 	return d

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// pprof label propagation: runtime profiles (CPU, goroutine, mutex) sample
+// whatever happens to be running, which at serving QPS is an anonymous blur
+// of worker goroutines. Labeling every request with its endpoint and every
+// pipeline worker with its stage makes `go tool pprof -tagfocus` slice a
+// profile by request class — "show me CPU burned under /categorize" — the
+// profiling counterpart of the flight recorder's per-request wide events.
+//
+// Labels are key/value pairs carried on the goroutine via the context;
+// goroutines started inside fn inherit them only if they call pprof.Do (or
+// these helpers) with the propagated context, which is why the pipeline's
+// worker spawn sites wrap their bodies in DoStage.
+
+// DoStage runs fn with a `stage` pprof label (e.g. "conflict.pairs"),
+// attributing profile samples of pipeline workers to their stage. It is
+// pprof.Do, so the label is visible in profiles for the duration of fn and
+// restored afterwards.
+func DoStage(ctx context.Context, stage string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("stage", stage), fn)
+}
+
+// DoLabels runs fn with arbitrary pprof label pairs (key1, value1, key2,
+// value2, ...): the request path labels `endpoint` today and is ready for
+// `tenant` once the catalog registry lands. Panics on an odd count, same as
+// pprof.Labels.
+func DoLabels(ctx context.Context, kv []string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels(kv...), fn)
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestDoStageSetsLabel(t *testing.T) {
+	ran := false
+	DoStage(context.Background(), "conflict.pairs", func(ctx context.Context) {
+		ran = true
+		if v, ok := pprof.Label(ctx, "stage"); !ok || v != "conflict.pairs" {
+			t.Errorf("stage label = %q, %v", v, ok)
+		}
+	})
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+}
+
+func TestDoLabelsComposesAndRestores(t *testing.T) {
+	ctx := context.Background()
+	DoLabels(ctx, []string{"endpoint", "categorize", "tenant", "acme"}, func(ctx context.Context) {
+		if v, _ := pprof.Label(ctx, "endpoint"); v != "categorize" {
+			t.Errorf("endpoint label = %q", v)
+		}
+		if v, _ := pprof.Label(ctx, "tenant"); v != "acme" {
+			t.Errorf("tenant label = %q", v)
+		}
+		// Nested stage labels compose with the request labels.
+		DoStage(ctx, "best_cover", func(ctx context.Context) {
+			if v, _ := pprof.Label(ctx, "endpoint"); v != "categorize" {
+				t.Errorf("endpoint label lost under stage: %q", v)
+			}
+			if v, _ := pprof.Label(ctx, "stage"); v != "best_cover" {
+				t.Errorf("stage label = %q", v)
+			}
+		})
+	})
+	if _, ok := pprof.Label(ctx, "endpoint"); ok {
+		t.Error("label leaked onto the outer context")
+	}
+}

@@ -21,6 +21,16 @@ import (
 //	                cumulative _bucket/_sum/_count series over the fixed
 //	                exponential bounds (overflow observations count only
 //	                toward the +Inf bucket)
+//	                <p>_<name>_max_seconds           gauge
+//
+// Buckets that hold an exemplar (a traced observation recorded through
+// Histogram.ObserveTrace) carry it as an OpenMetrics-style suffix on the
+// bucket line:
+//
+//	oct_http_categorize_latency_seconds_bucket{le="0.0002"} 17 # {trace_id="4fa0..."} 0.000181
+//
+// Plain-text Prometheus scrapers ignore everything after '#'; OpenMetrics
+// consumers surface the exemplar next to the bucket.
 //
 // Output is deterministic: each section is emitted in sorted name order.
 func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
@@ -45,22 +55,39 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		n := promName(prefix, name, "_seconds")
-		byLE := make(map[int64]int64, len(h.Buckets))
+		byLE := make(map[int64]Bucket, len(h.Buckets))
+		var overflowEx *Exemplar
 		for _, b := range h.Buckets {
-			byLE[b.LE] = b.Count
+			byLE[b.LE] = b
+			if b.LE < 0 {
+				overflowEx = b.Exemplar
+			}
 		}
 		fmt.Fprintf(ew, "# TYPE %s histogram\n", n)
 		cum := int64(0)
 		for _, bound := range bucketBounds {
-			cum += byLE[bound.Nanoseconds()]
-			fmt.Fprintf(ew, "%s_bucket{le=%q} %d\n", n, formatSeconds(bound.Nanoseconds()), cum)
+			b := byLE[bound.Nanoseconds()]
+			cum += b.Count
+			fmt.Fprintf(ew, "%s_bucket{le=%q} %d%s\n", n, formatSeconds(bound.Nanoseconds()), cum, exemplarSuffix(b.Exemplar))
 		}
 		// Overflow observations (LE = -1 in the snapshot) appear only here.
-		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d%s\n", n, h.Count, exemplarSuffix(overflowEx))
 		fmt.Fprintf(ew, "%s_sum %s\n", n, formatSeconds(h.SumNS))
 		fmt.Fprintf(ew, "%s_count %d\n", n, h.Count)
+		m := promName(prefix, name, "_max_seconds")
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", m, m, formatSeconds(h.MaxNS))
 	}
 	return ew.err
+}
+
+// exemplarSuffix renders a bucket exemplar as the OpenMetrics trailer, or ""
+// when the bucket has none (the common case — untraced observations leave no
+// exemplar, and the plain exposition stays byte-identical).
+func exemplarSuffix(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatSeconds(ex.ValueNS))
 }
 
 // errWriter latches the first write error so the exposition loop stays

@@ -44,8 +44,9 @@ func (s Span) Child(name string) Span {
 	if s.reg == nil {
 		return Span{}
 	}
-	child := s.reg.StartSpan(s.name + "/" + name)
-	child.tr = s.tr.StartChild(s.name + "/" + name)
+	full := s.name + "/" + name
+	child := s.reg.StartSpan(full)
+	child.tr = s.tr.StartChildAt(full, child.start)
 	return child
 }
 
@@ -84,8 +85,9 @@ func (s Span) End() time.Duration {
 	if s.reg == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	now := time.Now()
+	d := now.Sub(s.start)
 	s.reg.Timer(s.name).Observe(d)
-	s.tr.End()
+	s.tr.EndAt(now)
 	return d
 }

@@ -9,6 +9,7 @@ import (
 	"categorytree/internal/facet"
 	"categorytree/internal/intset"
 	"categorytree/internal/obs"
+	"categorytree/internal/obs/flight"
 	"categorytree/internal/search"
 	"categorytree/internal/sim"
 	"categorytree/internal/text"
@@ -96,12 +97,19 @@ type NavigateResult struct {
 // category. The result set comes from items=1,2,3 (explicit ids) or q=text
 // (routed through the search index); variant= and delta= override the
 // defaults. Responses are cached per snapshot keyed on the normalized query.
+// Every request opens a read.categorize span (retained whole by the flight
+// recorder when the request tail-samples) and annotates the in-flight wide
+// event with the cache outcome, snapshot version, and candidate count.
 func (rd *Reader) Categorize(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := obs.StartSpanContext(r.Context(), "read.categorize")
+	defer sp.End()
+	fq := flight.FromContext(ctx)
 	snap := rd.pub.Current()
 	if snap == nil {
 		http.Error(w, "serve: no snapshot published", http.StatusServiceUnavailable)
 		return
 	}
+	fq.SetSnapshotVersion(snap.Version)
 	v, delta, ok := rd.simParams(w, r)
 	if !ok {
 		return
@@ -110,15 +118,24 @@ func (rd *Reader) Categorize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	fq.SetItems(items.Len())
 	key := "categorize|" + v.String() + "|" + strconv.FormatFloat(delta, 'g', -1, 64) + "|" + normQuery
 	if body, ok := snap.cache.get(key); ok {
 		rd.hits.Inc()
+		fq.SetCache(true)
 		writeCached(w, body, true)
 		return
 	}
 	rd.misses.Inc()
+	fq.SetCache(false)
 
-	node, score := snap.Index.BestCover(v, items, delta)
+	bsp, _ := sp.ChildContext(ctx, "best_cover")
+	node, score, candidates := snap.Index.BestCoverCandidates(v, items, delta)
+	bsp.Attr("candidates", candidates)
+	bsp.End()
+	fq.SetCandidates(candidates)
+	sp.Attr("items", items.Len())
+	sp.Attr("candidates", candidates)
 	res := CategorizeResult{
 		SnapshotVersion: snap.Version,
 		Score:           score,
@@ -145,11 +162,15 @@ func (rd *Reader) Categorize(w http.ResponseWriter, r *http.Request) {
 // Navigate is GET /navigate: the faceted browse-then-filter session for a
 // target result set over the current snapshot, cached like Categorize.
 func (rd *Reader) Navigate(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := obs.StartSpanContext(r.Context(), "read.navigate")
+	defer sp.End()
+	fq := flight.FromContext(ctx)
 	snap := rd.pub.Current()
 	if snap == nil {
 		http.Error(w, "serve: no snapshot published", http.StatusServiceUnavailable)
 		return
 	}
+	fq.SetSnapshotVersion(snap.Version)
 	items, normQuery, ok := rd.resolveItems(w, r)
 	if !ok {
 		return
@@ -158,15 +179,21 @@ func (rd *Reader) Navigate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: empty result set", http.StatusBadRequest)
 		return
 	}
+	fq.SetItems(items.Len())
 	key := "navigate|" + normQuery
 	if body, ok := snap.cache.get(key); ok {
 		rd.hits.Inc()
+		fq.SetCache(true)
 		writeCached(w, body, true)
 		return
 	}
 	rd.misses.Inc()
+	fq.SetCache(false)
 
+	nsp, _ := sp.ChildContext(ctx, "navigate")
 	nav := facet.Navigate(snap.Tree, items)
+	nsp.End()
+	sp.Attr("items", items.Len())
 	res := NavigateResult{
 		SnapshotVersion: snap.Version,
 		Category:        nav.Node.ID,

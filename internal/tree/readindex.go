@@ -109,12 +109,23 @@ func (ix *ReadIndex) NumPostings() int {
 // Tree.BestCover for every input; the randomized differential test in
 // readindex_test.go pins the equivalence.
 func (ix *ReadIndex) BestCover(v sim.Variant, q intset.Set, delta float64) (*Node, float64) {
+	n, score, _ := ix.BestCoverCandidates(v, q, delta)
+	return n, score
+}
+
+// BestCoverCandidates is BestCover plus the number of candidate categories
+// actually scored — the per-request work metric the flight recorder stamps
+// onto its wide events (a slow query with thousands of candidates and a slow
+// query with three are different bugs). The exhaustive fallback reports the
+// full node count.
+func (ix *ReadIndex) BestCoverCandidates(v sim.Variant, q intset.Set, delta float64) (*Node, float64, int) {
 	// Degenerate regimes where zero-intersection categories can still score:
 	// an empty query (recall conventions), or a threshold variant whose δ is
 	// at or below the float tolerance (AtLeast(0, δ) holds, so every node
 	// scores 1). Both fall back to the exhaustive scan for exact parity.
 	if q.Empty() || (delta <= sim.Eps && (v == sim.ThresholdJaccard || v == sim.ThresholdF1)) {
-		return ix.t.BestCover(v, q, delta)
+		n, score := ix.t.BestCover(v, q, delta)
+		return n, score, len(ix.nodes)
 	}
 	sc := ix.scratch.Get().(*readScratch)
 	counts, touched := sc.counts, sc.touched[:0]
@@ -144,7 +155,8 @@ func (ix *ReadIndex) BestCover(v sim.Variant, q intset.Set, delta float64) (*Nod
 			best, bestScore, bestDepth = ix.nodes[pos], s, ix.depths[pos]
 		}
 	}
+	candidates := len(touched)
 	sc.touched = touched
 	ix.scratch.Put(sc)
-	return best, bestScore
+	return best, bestScore, candidates
 }
