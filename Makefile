@@ -21,6 +21,7 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/octlint ./...
+	$(GO) run ./cmd/escapecheck ./...
 
 fmt:
 	gofmt -w .

@@ -250,7 +250,7 @@ func RebuildSubtree(t *Tree, node *Node, inst *Instance, cfg Config, containment
 			items[i] = back[it]
 		}
 		n := t.AddCategory(parent, intset.New(items...), src.Label)
-		n.Covers = append(n.Covers, src.Covers...)
+		n.AppendCovers(src.Covers...)
 		for _, ch := range src.Children() {
 			graft(ch, n)
 		}

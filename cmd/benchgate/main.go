@@ -1,10 +1,13 @@
 // Command benchgate turns Go benchmark output into a CI gate that can
 // actually fail. It parses `go test -bench` text (the committed baseline and
 // a fresh run), pairs benchmarks by name, and applies a Mann-Whitney U test
-// to each pair's sec/op samples. The gate fails only when the geometric mean
-// of the *statistically significant* regressions (p < alpha, slower than
-// baseline) exceeds the threshold — single noisy benchmarks don't trip it,
-// and neither does broad sub-significant jitter.
+// to each pair's sec/op and allocs/op samples. The gate fails only when the
+// geometric mean of the *statistically significant* regressions (p < alpha,
+// worse than baseline) exceeds the metric's threshold — single noisy
+// benchmarks don't trip it, and neither does broad sub-significant jitter.
+// Allocation counts are near-deterministic, so the allocs gate is the sharp
+// end: a hot path going from 0 to any allocations is an infinite ratio and
+// always fails.
 //
 //	benchgate -baseline BENCH_baseline.txt -new bench_new.txt
 //	benchgate -mode missing -baseline BENCH_baseline.txt -new bench.txt
@@ -38,11 +41,12 @@ import (
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_baseline.txt", "committed baseline benchmark output")
-		newPath      = flag.String("new", "", "fresh benchmark output to judge (required)")
-		mode         = flag.String("mode", "gate", "gate (fail on significant regressions) or missing (fail on benchmarks absent from the baseline)")
-		alpha        = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
-		threshold    = flag.Float64("threshold", 1.25, "failing geomean ratio over significant regressions (sec/op, new/old)")
+		baselinePath   = flag.String("baseline", "BENCH_baseline.txt", "committed baseline benchmark output")
+		newPath        = flag.String("new", "", "fresh benchmark output to judge (required)")
+		mode           = flag.String("mode", "gate", "gate (fail on significant regressions) or missing (fail on benchmarks absent from the baseline)")
+		alpha          = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+		threshold      = flag.Float64("threshold", 1.25, "failing geomean ratio over significant sec/op regressions (new/old)")
+		allocThreshold = flag.Float64("alloc-threshold", 1.25, "failing geomean ratio over significant allocs/op regressions (new/old)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -64,11 +68,22 @@ func main() {
 	case "gate":
 		rep := gate(base, fresh, *alpha)
 		fmt.Print(rep.render())
+		failed := false
 		if rep.fails(*threshold) {
-			fmt.Printf("FAIL: significant regressions geomean %.3fx > %.2fx threshold\n", rep.geomean(), *threshold)
+			fmt.Printf("FAIL: significant sec/op regressions geomean %.3fx > %.2fx threshold\n", rep.geomean(), *threshold)
+			failed = true
+		} else {
+			fmt.Printf("ok: significant sec/op regressions geomean %.3fx ≤ %.2fx threshold\n", rep.geomean(), *threshold)
+		}
+		if rep.failsAllocs(*allocThreshold) {
+			fmt.Printf("FAIL: significant allocs/op regressions geomean %.3fx > %.2fx threshold\n", rep.allocGeomean(), *allocThreshold)
+			failed = true
+		} else {
+			fmt.Printf("ok: significant allocs/op regressions geomean %.3fx ≤ %.2fx threshold\n", rep.allocGeomean(), *allocThreshold)
+		}
+		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("ok: significant regressions geomean %.3fx ≤ %.2fx threshold\n", rep.geomean(), *threshold)
 	case "missing":
 		gone := missing(base, fresh)
 		if len(gone) > 0 {
@@ -85,15 +100,23 @@ func main() {
 	}
 }
 
-// benchLine matches one benchmark result line: name, iteration count, and
-// the ns/op figure. Extra -benchmem columns are ignored.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+// samples holds one benchmark's repeated measurements per metric. allocs is
+// shorter than sec when some runs lacked -benchmem columns; alloc gating
+// needs samples on both sides, so plain runs simply aren't alloc-gated.
+type samples struct {
+	sec    []float64 // ns/op
+	allocs []float64 // allocs/op
+}
 
-// parseBench reads benchmark output into name → ns/op samples. The
-// GOMAXPROCS suffix (-8) is stripped so runs from machines with different
-// core counts still pair up.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := map[string][]float64{}
+// benchLine matches one benchmark result line: name, iteration count, the
+// ns/op figure, and (with -benchmem) the allocs/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op(?:.*\s([0-9]+) allocs/op)?`)
+
+// parseBench reads benchmark output into name → samples. The GOMAXPROCS
+// suffix (-8) is stripped so runs from machines with different core counts
+// still pair up.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := map[string]*samples{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -111,12 +134,24 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 				name = name[:i]
 			}
 		}
-		out[name] = append(out[name], v)
+		s := out[name]
+		if s == nil {
+			s = &samples{}
+			out[name] = s
+		}
+		s.sec = append(s.sec, v)
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.allocs = append(s.allocs, a)
+		}
 	}
 	return out, sc.Err()
 }
 
-func parseBenchFile(path string) (map[string][]float64, error) {
+func parseBenchFile(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -139,15 +174,36 @@ type row struct {
 	significant bool // p < alpha AND slower than baseline
 }
 
-// report is the gate's full comparison result.
+// report is the gate's full comparison result: one row set per metric.
 type report struct {
-	rows     []row
-	unpaired []string // in new but not baseline (gate skips; missing mode fails)
+	rows      []row // sec/op
+	allocRows []row // allocs/op, only for pairs sampled with -benchmem
+	unpaired  []string
 }
 
-// gate pairs benchmarks and tests each for regression. Only benchmarks
-// present on both sides are judged.
-func gate(base, fresh map[string][]float64, alpha float64) *report {
+// judge compares one benchmark's paired samples under a single metric.
+func judge(name string, base, fresh []float64, alpha float64) row {
+	r := row{
+		name:       name,
+		baseMedian: median(base),
+		newMedian:  median(fresh),
+		p:          mannWhitney(base, fresh),
+	}
+	switch {
+	case r.baseMedian == 0 && r.newMedian == 0:
+		r.ratio = 1 // 0/0: an alloc-free benchmark staying alloc-free
+	case r.baseMedian == 0:
+		r.ratio = math.Inf(1) // 0 → N allocations: infinitely worse
+	default:
+		r.ratio = r.newMedian / r.baseMedian
+	}
+	r.significant = r.p < alpha && r.ratio > 1
+	return r
+}
+
+// gate pairs benchmarks and tests each metric for regression. Only
+// benchmarks present on both sides are judged.
+func gate(base, fresh map[string]*samples, alpha float64) *report {
 	rep := &report{}
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
@@ -161,24 +217,21 @@ func gate(base, fresh map[string][]float64, alpha float64) *report {
 			continue
 		}
 		n := fresh[name]
-		r := row{
-			name:       name,
-			baseMedian: median(b),
-			newMedian:  median(n),
-			p:          mannWhitney(b, n),
+		rep.rows = append(rep.rows, judge(name, b.sec, n.sec, alpha))
+		if len(b.allocs) > 0 && len(n.allocs) > 0 {
+			rep.allocRows = append(rep.allocRows, judge(name, b.allocs, n.allocs, alpha))
 		}
-		r.ratio = r.newMedian / r.baseMedian
-		r.significant = r.p < alpha && r.ratio > 1
-		rep.rows = append(rep.rows, r)
 	}
 	return rep
 }
 
-// geomean returns the geometric mean ratio over the significant regressions
-// (1.0 when there are none — nothing to gate on).
-func (rep *report) geomean() float64 {
+// geomeanOf returns the geometric mean ratio over the significant
+// regressions in rows (1.0 when there are none — nothing to gate on). An
+// infinite ratio (0 → N allocs) makes the geomean infinite: one hot path
+// starting to allocate cannot be averaged away by its quiet peers.
+func geomeanOf(rows []row) float64 {
 	sum, n := 0.0, 0
-	for _, r := range rep.rows {
+	for _, r := range rows {
 		if r.significant {
 			sum += math.Log(r.ratio)
 			n++
@@ -190,19 +243,31 @@ func (rep *report) geomean() float64 {
 	return math.Exp(sum / float64(n))
 }
 
-func (rep *report) fails(threshold float64) bool { return rep.geomean() > threshold }
+func (rep *report) geomean() float64      { return geomeanOf(rep.rows) }
+func (rep *report) allocGeomean() float64 { return geomeanOf(rep.allocRows) }
 
-func (rep *report) render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-52s %14s %14s %8s %8s  %s\n", "benchmark", "base ns/op", "new ns/op", "ratio", "p", "verdict")
-	for _, r := range rep.rows {
+func (rep *report) fails(threshold float64) bool       { return rep.geomean() > threshold }
+func (rep *report) failsAllocs(threshold float64) bool { return rep.allocGeomean() > threshold }
+
+func renderRows(sb *strings.Builder, metric string, rows []row) {
+	fmt.Fprintf(sb, "%-52s %14s %14s %8s %8s  %s\n", "benchmark", "base "+metric, "new "+metric, "ratio", "p", "verdict")
+	for _, r := range rows {
 		verdict := "~"
 		if r.significant {
 			verdict = "REGRESSION"
 		} else if r.p < 0.05 && r.ratio < 1 {
 			verdict = "improved"
 		}
-		fmt.Fprintf(&sb, "%-52s %14.1f %14.1f %8.3f %8.4f  %s\n", r.name, r.baseMedian, r.newMedian, r.ratio, r.p, verdict)
+		fmt.Fprintf(sb, "%-52s %14.1f %14.1f %8.3f %8.4f  %s\n", r.name, r.baseMedian, r.newMedian, r.ratio, r.p, verdict)
+	}
+}
+
+func (rep *report) render() string {
+	var sb strings.Builder
+	renderRows(&sb, "ns/op", rep.rows)
+	if len(rep.allocRows) > 0 {
+		sb.WriteString("\n")
+		renderRows(&sb, "allocs/op", rep.allocRows)
 	}
 	for _, name := range rep.unpaired {
 		fmt.Fprintf(&sb, "%-52s (no baseline entry; not gated)\n", name)
@@ -211,7 +276,7 @@ func (rep *report) render() string {
 }
 
 // missing lists benchmarks present in fresh but absent from base, sorted.
-func missing(base, fresh map[string][]float64) []string {
+func missing(base, fresh map[string]*samples) []string {
 	var out []string
 	for name := range fresh {
 		if _, ok := base[name]; !ok {

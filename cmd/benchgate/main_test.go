@@ -9,15 +9,20 @@ import (
 // synthBench renders count benchmark lines for name around base ns/op with a
 // small deterministic wobble, mimicking `go test -bench -count=N` output.
 func synthBench(name string, base float64, count int) string {
+	return synthBenchAllocs(name, base, 1, count)
+}
+
+// synthBenchAllocs is synthBench with a controlled allocs/op column.
+func synthBenchAllocs(name string, base float64, allocs, count int) string {
 	var sb strings.Builder
 	for i := 0; i < count; i++ {
 		wobble := 1 + 0.01*float64(i%5) // ±few percent, deterministic
-		fmt.Fprintf(&sb, "%s-8    1000    %.1f ns/op    16 B/op    1 allocs/op\n", name, base*wobble)
+		fmt.Fprintf(&sb, "%s-8    1000    %.1f ns/op    16 B/op    %d allocs/op\n", name, base*wobble, allocs)
 	}
 	return sb.String()
 }
 
-func parse(t *testing.T, text string) map[string][]float64 {
+func parse(t *testing.T, text string) map[string]*samples {
 	t.Helper()
 	m, err := parseBench(strings.NewReader(text))
 	if err != nil {
@@ -36,11 +41,18 @@ BenchmarkReadIndexBestCover-8  1084649  1084 ns/op
 PASS
 ok  	categorytree/internal/tree	2.1s
 `)
-	if len(m["BenchmarkBestCoverScan"]) != 2 {
-		t.Fatalf("scan samples = %v", m["BenchmarkBestCoverScan"])
+	if len(m["BenchmarkBestCoverScan"].sec) != 2 {
+		t.Fatalf("scan samples = %v", m["BenchmarkBestCoverScan"].sec)
 	}
-	if got := m["BenchmarkReadIndexBestCover"][0]; got != 1084 {
+	// Only the first line carried -benchmem columns: one alloc sample.
+	if got := m["BenchmarkBestCoverScan"].allocs; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("scan alloc samples = %v, want [0]", got)
+	}
+	if got := m["BenchmarkReadIndexBestCover"].sec[0]; got != 1084 {
 		t.Fatalf("readindex ns/op = %v", got)
+	}
+	if len(m["BenchmarkReadIndexBestCover"].allocs) != 0 {
+		t.Fatalf("plain run grew alloc samples: %v", m["BenchmarkReadIndexBestCover"].allocs)
 	}
 	if len(m) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2", len(m))
@@ -103,10 +115,65 @@ func TestGateTolerantOfNoiseAndImprovements(t *testing.T) {
 	}
 }
 
-func regressedPair() map[string][]float64 {
+func regressedPair() map[string]*samples {
 	m, _ := parseBench(strings.NewReader(
 		synthBench("BenchmarkA", 2000, 10) + synthBench("BenchmarkB", 2000, 10)))
 	return m
+}
+
+// TestAllocGate pins the allocs/op side: a tripled allocation count fails
+// even when sec/op is unchanged, and a hot path going 0 → N allocations is an
+// infinite ratio that no quiet peer can average away.
+func TestAllocGate(t *testing.T) {
+	baseline := synthBenchAllocs("BenchmarkHot", 1000, 2, 10) +
+		synthBenchAllocs("BenchmarkPeer", 500, 4, 10)
+
+	same := gate(parse(t, baseline), parse(t, baseline), 0.05)
+	if same.failsAllocs(1.25) {
+		t.Fatalf("identical runs failed the alloc gate:\n%s", same.render())
+	}
+
+	tripled := synthBenchAllocs("BenchmarkHot", 1000, 6, 10) +
+		synthBenchAllocs("BenchmarkPeer", 500, 4, 10)
+	rep := gate(parse(t, baseline), parse(t, tripled), 0.05)
+	if !rep.failsAllocs(1.25) {
+		t.Fatalf("3x alloc regression passed the alloc gate:\n%s", rep.render())
+	}
+	if rep.fails(1.25) {
+		t.Fatalf("alloc-only regression tripped the sec/op gate:\n%s", rep.render())
+	}
+}
+
+func TestAllocGateZeroToSome(t *testing.T) {
+	baseline := synthBenchAllocs("BenchmarkAllocFree", 1000, 0, 10) +
+		synthBenchAllocs("BenchmarkPeer", 500, 1, 10)
+
+	// 0 → 0 is ratio 1: staying alloc-free passes.
+	if rep := gate(parse(t, baseline), parse(t, baseline), 0.05); rep.failsAllocs(1.25) {
+		t.Fatalf("alloc-free benchmark failed its own baseline:\n%s", rep.render())
+	}
+
+	// 0 → 1: infinite ratio, must fail at any finite threshold.
+	leaky := synthBenchAllocs("BenchmarkAllocFree", 1000, 1, 10) +
+		synthBenchAllocs("BenchmarkPeer", 500, 1, 10)
+	rep := gate(parse(t, baseline), parse(t, leaky), 0.05)
+	if !rep.failsAllocs(1e12) {
+		t.Fatalf("0→1 alloc regression passed the gate:\n%s", rep.render())
+	}
+}
+
+// TestAllocGateNeedsBenchmem: pairs without -benchmem columns on both sides
+// are simply not alloc-gated rather than treated as zero.
+func TestAllocGateNeedsBenchmem(t *testing.T) {
+	plain := "BenchmarkA-8    1000    1000.0 ns/op\n"
+	rep := gate(parse(t, strings.Repeat(plain, 10)),
+		parse(t, synthBenchAllocs("BenchmarkA", 1000, 50, 10)), 0.05)
+	if len(rep.allocRows) != 0 {
+		t.Fatalf("alloc rows without baseline -benchmem samples: %+v", rep.allocRows)
+	}
+	if rep.failsAllocs(1.25) {
+		t.Fatal("ungateable pair failed the alloc gate")
+	}
 }
 
 func TestMissingMode(t *testing.T) {

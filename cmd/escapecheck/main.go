@@ -1,0 +1,244 @@
+// Command escapecheck is the dynamic half of the //oct:hotpath contract.
+// octlint's hotalloc analyzer flags allocating *constructs* it can see in the
+// AST; escapecheck asks the compiler, whose escape analysis is the ground
+// truth, and fails when a value inside an //oct:hotpath function escapes to
+// the heap — including the cases hotalloc deliberately leaves to it (append
+// growth, interface boxing at call boundaries, captured variables).
+//
+// Usage:
+//
+//	go run ./cmd/escapecheck [-C dir] [-v] [packages]
+//
+// With no package patterns it checks ./.... The tool runs
+// `go list -json` to find the source files, parses them to locate the line
+// ranges of //oct:hotpath functions, then runs `go build -gcflags=-m` and
+// keeps every "escapes to heap" / "moved to heap" diagnostic that lands in
+// one of those ranges. "leaking param" lines are informational (the callee
+// does not itself allocate; the caller decides) and are ignored.
+//
+// Exit status: 0 clean, 1 escapes found, 2 toolchain or parse failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		workDir = flag.String("C", ".", "directory to resolve package patterns from")
+		chatty  = flag.Bool("v", false, "list the hot-path functions being checked")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := listPackages(*workDir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(2)
+	}
+	ranges, err := hotpathRanges(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(2)
+	}
+	if *chatty {
+		for _, r := range ranges {
+			fmt.Fprintf(os.Stderr, "escapecheck: %s %s:%d-%d\n", r.fn, r.file, r.from, r.to)
+		}
+	}
+	if len(ranges) == 0 {
+		fmt.Println("escapecheck: no //oct:hotpath functions in the requested packages")
+		return
+	}
+
+	diags, err := buildDiagnostics(*workDir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(2)
+	}
+	findings := match(ranges, diags)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "escapecheck: %d heap escapes in //oct:hotpath functions\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: %d hot-path functions, no heap escapes\n", len(ranges))
+}
+
+// pkg is the slice of `go list -json` output escapecheck needs.
+type pkg struct {
+	Dir     string
+	GoFiles []string
+}
+
+// listPackages resolves patterns to source directories via the go tool, so
+// build constraints and module boundaries behave exactly as the build does.
+func listPackages(dir string, patterns []string) ([]pkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=Dir,GoFiles"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []pkg
+	dec := json.NewDecoder(out)
+	for {
+		var p pkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// hotRange is one //oct:hotpath function's source extent.
+type hotRange struct {
+	file     string // absolute path
+	from, to int    // inclusive line range of the declaration
+	fn       string
+}
+
+// hotpathRanges parses every listed file and records the line extents of
+// functions whose doc comment carries //oct:hotpath. Test files are not in
+// GoFiles, so annotations there (none expected) are out of scope, matching
+// octlint's fixture loader.
+func hotpathRanges(pkgs []pkg) ([]hotRange, error) {
+	fset := token.NewFileSet()
+	var out []hotRange
+	for _, p := range pkgs {
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				if !hasHotpath(fd.Doc.List) {
+					continue
+				}
+				out = append(out, hotRange{
+					file: path,
+					from: fset.Position(fd.Pos()).Line,
+					to:   fset.Position(fd.End()).Line,
+					fn:   fd.Name.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].from < out[j].from
+	})
+	return out, nil
+}
+
+func hasHotpath(comments []*ast.Comment) bool {
+	for _, c := range comments {
+		rest, ok := strings.CutPrefix(c.Text, "//oct:hotpath")
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// diag is one compiler escape-analysis line.
+type diag struct {
+	file string // absolute path
+	line int
+	msg  string
+}
+
+// diagLine matches the compiler's file:line:col: message format.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// buildDiagnostics compiles the packages with -gcflags=-m and collects the
+// heap-escape diagnostics. The build cache replays compiler output, so a
+// warm run is cheap.
+func buildDiagnostics(dir string, patterns []string) ([]diag, error) {
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, buf.String())
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []diag
+	for _, raw := range strings.Split(buf.String(), "\n") {
+		m := diagLine.FindStringSubmatch(raw)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		path := m[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(absDir, path)
+		}
+		out = append(out, diag{file: path, line: line, msg: msg})
+	}
+	return out, nil
+}
+
+// match keeps the diagnostics that land inside a hot-path function and
+// renders them as findings.
+func match(ranges []hotRange, diags []diag) []string {
+	var out []string
+	for _, d := range diags {
+		for _, r := range ranges {
+			if d.file == r.file && d.line >= r.from && d.line <= r.to {
+				out = append(out, fmt.Sprintf("%s:%d: %s (in //oct:hotpath %s)", d.file, d.line, d.msg, r.fn))
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

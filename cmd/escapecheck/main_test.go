@@ -1,0 +1,56 @@
+package main
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestHasHotpath(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"//oct:hotpath", true},
+		{"//oct:hotpath scores every candidate", true},
+		{"//oct:hotpathological", false},
+		{"// oct:hotpath", false}, // directives take no space, like //go:noinline
+		{"//oct:coldpath", false},
+	}
+	for _, c := range cases {
+		got := hasHotpath([]*ast.Comment{{Text: c.text}})
+		if got != c.want {
+			t.Errorf("hasHotpath(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDiagLine(t *testing.T) {
+	m := diagLine.FindStringSubmatch("internal/sim/counts.go:57:3: \"boom\" escapes to heap")
+	if m == nil || m[1] != "internal/sim/counts.go" || m[2] != "57" {
+		t.Fatalf("diagLine submatch = %v", m)
+	}
+	if diagLine.MatchString("# categorytree/internal/sim") {
+		t.Error("package header line must not parse as a diagnostic")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	ranges := []hotRange{
+		{file: "/r/a.go", from: 10, to: 20, fn: "Hot"},
+		{file: "/r/b.go", from: 5, to: 9, fn: "Warm"},
+	}
+	diags := []diag{
+		{file: "/r/a.go", line: 15, msg: "x escapes to heap"}, // inside Hot
+		{file: "/r/a.go", line: 25, msg: "y escapes to heap"}, // outside any range
+		{file: "/r/b.go", line: 15, msg: "z escapes to heap"}, // right file, wrong lines
+		{file: "/r/c.go", line: 15, msg: "w escapes to heap"}, // unannotated file
+	}
+	got := match(ranges, diags)
+	if len(got) != 1 {
+		t.Fatalf("match = %v, want exactly the in-range diagnostic", got)
+	}
+	want := "/r/a.go:15: x escapes to heap (in //oct:hotpath Hot)"
+	if got[0] != want {
+		t.Errorf("match[0] = %q, want %q", got[0], want)
+	}
+}

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/octlint [-only name,name] [-list] [packages]
+//	go run ./cmd/octlint [-only name,name] [-format text|github] [-list] [packages]
 //
 // With no package patterns it analyzes ./.... The exit status is 0 when no
 // findings survive (//lint:ignore directives applied), 1 on findings, and
-// 2 on load errors. CI runs it as part of the lint job; see the Makefile
-// lint target.
+// 2 on load errors. CI runs it as part of the lint job with -format github,
+// which emits GitHub Actions workflow commands (::error file=…) so findings
+// annotate the offending lines in the pull-request diff; see the Makefile
+// lint target for the local equivalent.
 package main
 
 import (
@@ -31,8 +33,13 @@ func main() {
 		list    = flag.Bool("list", false, "list available analyzers and exit")
 		chatty  = flag.Bool("v", false, "print per-package progress")
 		workDir = flag.String("C", ".", "directory to resolve package patterns from")
+		format  = flag.String("format", "text", "output format: text or github (Actions ::error annotations)")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "octlint: unknown format %q (text, github)\n", *format)
+		os.Exit(2)
+	}
 	olog.Setup("")
 
 	analyzers := rules.All()
@@ -77,10 +84,34 @@ func main() {
 	}
 	diags := lint.Run(pkgs, analyzers)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *format == "github" {
+			fmt.Println(githubAnnotation(d))
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "octlint: %d findings\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders a diagnostic as a GitHub Actions workflow command
+// so the finding shows up inline on the pull-request diff. Message data is
+// %-escaped per the workflow-command rules (%, CR, LF; plus comma and colon
+// inside properties).
+func githubAnnotation(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=octlint %s::%s (%s)",
+		escapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		escapeProperty(d.Analyzer), escapeData(d.Message), d.Analyzer)
+}
+
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+func escapeProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }

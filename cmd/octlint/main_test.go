@@ -1,0 +1,82 @@
+package main
+
+import (
+	"errors"
+	"go/token"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"categorytree/internal/lint"
+)
+
+func TestGithubAnnotation(t *testing.T) {
+	d := lint.Diagnostic{
+		Analyzer: "immutable",
+		Pos:      token.Position{Filename: "internal/tree/tree.go", Line: 42, Column: 7},
+		Message:  "write to //oct:immutable type",
+	}
+	got := githubAnnotation(d)
+	want := "::error file=internal/tree/tree.go,line=42,col=7,title=octlint immutable::write to //oct:immutable type (immutable)"
+	if got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+func TestGithubAnnotationEscaping(t *testing.T) {
+	d := lint.Diagnostic{
+		Analyzer: "hotalloc",
+		Pos:      token.Position{Filename: "a,b:c.go", Line: 1, Column: 2},
+		Message:  "50% slower\nsecond line",
+	}
+	got := githubAnnotation(d)
+	if strings.Contains(got, "\n") {
+		t.Errorf("annotation contains a raw newline: %q", got)
+	}
+	if !strings.Contains(got, "file=a%2Cb%3Ac.go") {
+		t.Errorf("file property not escaped: %q", got)
+	}
+	if !strings.Contains(got, "50%25 slower%0Asecond line") {
+		t.Errorf("message data not escaped: %q", got)
+	}
+}
+
+// runSelf invokes the command the way CI would, via go run, and returns its
+// combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestUnknownOnlyExitsNonzero pins the CI contract: asking for an analyzer
+// that does not exist must fail loudly, not silently run nothing — a typo in
+// the workflow file would otherwise disable the gate.
+func TestUnknownOnlyExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out, err := runSelf(t, "-only", "nosuchanalyzer")
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unknown -only analyzer: err = %v, want non-zero exit\noutput: %s", err, out)
+	}
+	if !strings.Contains(out, "unknown analyzer") {
+		t.Errorf("output %q does not name the unknown analyzer", out)
+	}
+}
+
+func TestUnknownFormatExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out, err := runSelf(t, "-format", "xml")
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unknown -format: err = %v, want non-zero exit\noutput: %s", err, out)
+	}
+	if !strings.Contains(out, "unknown format") {
+		t.Errorf("output %q does not explain the format error", out)
+	}
+}

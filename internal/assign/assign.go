@@ -460,7 +460,7 @@ func (a *Assigner) place(it intset.Item, dest *tree.Node) {
 		if n.Items.Contains(it) {
 			break // ancestors above already hold it
 		}
-		n.Items = n.Items.Union(single)
+		n.SetItems(n.Items.Union(single))
 		for _, q := range a.setAt[n.ID] {
 			a.catSize[q]++
 			if a.inst.Sets[q].Items.Contains(it) {

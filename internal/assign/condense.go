@@ -74,9 +74,9 @@ func CondenseContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, t 
 		node, sc := ix.bestByPrecision(cfg, s)
 		if sc > 0 && node != nil {
 			keep[node.ID] = true
-			node.Covers = append(node.Covers, oct.SetID(i))
+			node.AppendCovers(oct.SetID(i))
 			if node.Label == "" {
-				node.Label = s.Label
+				node.SetLabel(s.Label)
 			}
 		}
 	}
@@ -172,7 +172,7 @@ func AddMiscCategory(inst *oct.Instance, t *tree.Tree) *tree.Node {
 	}
 	assigned := intset.UnionAll(children)
 	unassigned := all.Diff(assigned)
-	t.Root().Items = all
+	t.Root().SetItems(all)
 	if unassigned.Empty() {
 		return nil
 	}

@@ -181,7 +181,7 @@ func buildFromItemPoints(inst *oct.Instance, p cluster.Points, opts Options) (*t
 		for _, c := range nd.Children() {
 			sets = append(sets, pull(c))
 		}
-		nd.Items = intset.UnionAll(sets)
+		nd.SetItems(intset.UnionAll(sets))
 		return nd.Items
 	}
 	pull(t.Root())

@@ -269,7 +269,7 @@ func (c *Catalog) ExistingTree() *tree.Tree {
 			t.AddCategory(tn, intset.New(byType[ty][br]...), label+" "+ty)
 		}
 	}
-	t.Root().Items = intset.Range(0, intset.Item(len(c.Products)))
+	t.Root().SetItems(intset.Range(0, intset.Item(len(c.Products))))
 	return t
 }
 

@@ -195,7 +195,7 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 	} else {
 		for _, q := range res.Selected {
 			c := res.CatOf[q]
-			c.Covers = append(c.Covers, q)
+			c.AppendCovers(q)
 		}
 	}
 

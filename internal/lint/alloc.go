@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocSite is one statically visible allocating construct.
+type AllocSite struct {
+	Pos token.Pos
+	// What describes the construct for diagnostics ("slice literal",
+	// "closure literal", "interface boxing", ...).
+	What string
+}
+
+// AllocSites reports the allocating constructs directly inside node, the
+// static vocabulary of the hotalloc analyzer:
+//
+//   - map, slice, and &-composite literals, and make/new of reference types
+//   - closure literals
+//   - non-constant string concatenation, and string<->[]byte/[]rune
+//     conversions
+//   - fmt calls (every fmt entry point formats through reflection and
+//     allocates)
+//   - interface boxing of non-pointer-shaped concrete values at assignments
+//     (boxing at call arguments and returns is deliberately left to
+//     cmd/escapecheck: the compiler's escape analysis often keeps those on
+//     the stack, and only it knows)
+//
+// append is deliberately absent: appending into pooled, pre-sized storage is
+// the repository's standard steady-state-zero-alloc idiom, and the
+// benchgate allocs/op gate owns the dynamic truth about growth.
+func AllocSites(info *types.Info, node ast.Node) []AllocSite {
+	var sites []AllocSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, AllocSite{Pos: pos, What: what})
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Map:
+				add(e.Pos(), "map literal")
+			case *types.Slice:
+				add(e.Pos(), "slice literal")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					add(e.Pos(), "&composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			add(e.Pos(), "closure literal")
+			// The closure body's own constructs belong to the closure; they
+			// are still inside `node`, so keep walking.
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringType(info.TypeOf(e)) && !isConstant(info, e) {
+				add(e.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringType(info.TypeOf(e.Lhs[0])) {
+				add(e.TokPos, "string concatenation")
+			}
+			for i, lhs := range e.Lhs {
+				if i < len(e.Rhs) && len(e.Rhs) == len(e.Lhs) {
+					checkBoxing(info, add, info.TypeOf(lhs), e.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range e.Names {
+				if i < len(e.Values) {
+					checkBoxing(info, add, info.TypeOf(name), e.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			sites = append(sites, callAllocSites(info, e)...)
+		}
+		return true
+	})
+	return sites
+}
+
+// callAllocSites classifies one call expression: allocating builtins,
+// allocating conversions, and fmt calls.
+func callAllocSites(info *types.Info, call *ast.CallExpr) []AllocSite {
+	var sites []AllocSite
+	// Conversions: T(x) where the conversion copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := info.TypeOf(call.Fun), info.TypeOf(call.Args[0])
+		if isAllocatingConversion(to, from) && !isConstant(info, call.Args[0]) {
+			sites = append(sites, AllocSite{call.Pos(), "string/byte-slice conversion"})
+		}
+		return sites
+	}
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return sites
+	}
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make":
+			sites = append(sites, AllocSite{call.Pos(), "make"})
+		case "new":
+			sites = append(sites, AllocSite{call.Pos(), "new"})
+		}
+		return sites
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		sites = append(sites, AllocSite{call.Pos(), "fmt." + callee.Name() + " call"})
+	}
+	return sites
+}
+
+// checkBoxing records an interface-boxing site when a concrete,
+// non-pointer-shaped value is assigned into an interface-typed location.
+func checkBoxing(info *types.Info, add func(token.Pos, string), dst types.Type, src ast.Expr) {
+	if dst == nil || src == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := info.TypeOf(src)
+	if st == nil || isConstant(info, src) {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // already an interface, or pointer-shaped: no allocation
+	case *types.Basic:
+		if st.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	add(src.Pos(), "interface boxing")
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isAllocatingConversion reports whether converting from→to copies the
+// backing storage: string <-> []byte / []rune.
+func isAllocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //oct: annotation vocabulary. Annotations are comment directives (no
+// space after //, like //go:noinline) written in the doc-comment block of a
+// type or function declaration. They declare invariants the dataflow
+// analyzers enforce:
+//
+//	//oct:immutable   on a type: values are frozen once they escape their
+//	                  construction site; only //oct:ctor functions of the
+//	                  declaring package may mutate them.
+//	//oct:ctor        on a function or method of the declaring package: a
+//	                  sanctioned construction/mutation path for an immutable
+//	                  type (build-phase API). Its result and receiver count
+//	                  as "under construction", not published.
+//	//oct:hotpath     on a function: it must stay allocation-free; the
+//	                  hotalloc analyzer flags allocating constructs and
+//	                  cmd/escapecheck cross-checks the compiler's escape
+//	                  diagnostics.
+//	//oct:coldpath    on a function: a deliberate slow-path exit (degenerate
+//	                  fallback, tail-sampled retention). Calls to it from a
+//	                  hot path are exempt from the allocating-call check.
+//
+// Everything after the directive word is a free-form note kept for humans.
+const (
+	AnnotImmutable = "immutable"
+	AnnotCtor      = "ctor"
+	AnnotHotPath   = "hotpath"
+	AnnotColdPath  = "coldpath"
+)
+
+// Annotations maps object keys (ObjKey / TypeKey) to the set of //oct:
+// directives on their declarations.
+type Annotations map[string]map[string]bool
+
+// Has reports whether key carries the named annotation.
+func (a Annotations) Has(key, annot string) bool { return a[key][annot] }
+
+// annotationsOf extracts the //oct: directives from a doc comment group.
+func annotationsOf(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var set map[string]bool
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//oct:")
+		if !ok {
+			continue
+		}
+		word := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			word = rest[:i]
+		}
+		if word == "" {
+			continue
+		}
+		if set == nil {
+			set = make(map[string]bool, 1)
+		}
+		set[word] = true
+	}
+	return set
+}
+
+// collectAnnotations walks a package's declarations and records every //oct:
+// directive against the declared object's key. Directives are read from the
+// FuncDecl doc, the TypeSpec doc, and — for single-type declarations and
+// grouped specs that lack their own doc — the enclosing GenDecl doc.
+func collectAnnotations(pkg *Package, into Annotations) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if set := annotationsOf(d.Doc); set != nil {
+					if obj := pkg.Info.Defs[d.Name]; obj != nil {
+						merge(into, ObjKey(obj), set)
+					}
+				}
+			case *ast.GenDecl:
+				declSet := annotationsOf(d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					set := annotationsOf(ts.Doc)
+					if set == nil {
+						set = declSet
+					}
+					if set == nil {
+						continue
+					}
+					if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+						merge(into, ObjKey(obj), set)
+					}
+				}
+			}
+		}
+	}
+}
+
+func merge(into Annotations, key string, set map[string]bool) {
+	if into[key] == nil {
+		into[key] = make(map[string]bool, len(set))
+	}
+	for k := range set {
+		into[key][k] = true
+	}
+}

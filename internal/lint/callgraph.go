@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"sort"
+)
+
+// CallGraph is the package-level static call graph over every
+// source-analyzed function: edges from caller key to the keys of every
+// directly called function or method, deduplicated and sorted. Indirect
+// calls through function values are not resolved (the summaries treat them
+// as unknown externals); that is the usual precision trade of a
+// source-level graph and is documented per analyzer.
+type CallGraph struct {
+	edges map[string][]string
+}
+
+// Callees returns the sorted callee keys of caller (by ObjKey), or nil.
+func (g *CallGraph) Callees(caller string) []string { return g.edges[caller] }
+
+// Len returns the number of functions with at least one outgoing edge.
+func (g *CallGraph) Len() int { return len(g.edges) }
+
+// buildCallGraph derives the graph from the flow events already computed
+// for each function node.
+func buildCallGraph(funcs map[string]*funcNode) *CallGraph {
+	g := &CallGraph{edges: make(map[string][]string, len(funcs))}
+	for key, fn := range funcs {
+		seen := map[string]bool{}
+		for _, ev := range fn.flow.Events {
+			if ev.Kind != EventCall || ev.Callee == nil {
+				continue
+			}
+			if callee := ObjKey(ev.Callee); callee != "" && !seen[callee] {
+				seen[callee] = true
+				g.edges[key] = append(g.edges[key], callee)
+			}
+		}
+		sort.Strings(g.edges[key])
+	}
+	return g
+}
+
+// Reachable reports whether target is reachable from start in the graph
+// (start reaches itself). Used by tests and by analyzers that want
+// transitive call facts beyond the precomputed summaries.
+func (g *CallGraph) Reachable(start, target string) bool {
+	if start == target {
+		return true
+	}
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.edges[cur] {
+			if next == target {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

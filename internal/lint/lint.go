@@ -57,6 +57,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Prog is the whole-load view: //oct: annotations, cross-package
+	// function summaries, the call graph, and the atomic-field table. All
+	// packages of one Run share it; its tables are computed lazily on first
+	// use.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -74,6 +79,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // diagnostics (ignore directives applied) in file/line order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
 		var pkgDiags []Diagnostic
@@ -81,7 +87,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &pkgDiags}
 			a.Run(pass)
 		}
 		for _, d := range pkgDiags {

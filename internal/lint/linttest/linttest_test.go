@@ -1,0 +1,42 @@
+package linttest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"categorytree/internal/lint"
+)
+
+// dummy flags every package-level variable whose name starts with "bad" —
+// a deterministic diagnostic source for exercising the //lint:ignore
+// machinery itself, independent of any real analyzer's logic.
+var dummy = &lint.Analyzer{
+	Name: "dummy",
+	Doc:  "flags variables named bad* (linttest self-test)",
+	Run: func(pass *lint.Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "bad") {
+						pass.Reportf(name.Pos(), "bad variable %s", name.Name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// TestIgnoreDirectives pins the directive's scoping rules via the want
+// comments in the fixture: line-above and same-line styles suppress, a
+// directive inside a grouped declaration covers only its own spec, block
+// comments and reason-less directives are not directives, and a directive
+// naming a different analyzer (or no known analyzer at all) changes nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	Run(t, dummy, "testdata/ignore", "fix/ignore")
+}

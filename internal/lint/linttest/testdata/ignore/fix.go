@@ -1,0 +1,39 @@
+// Package fix exercises the //lint:ignore directive's edge cases against a
+// dummy analyzer that flags every variable whose name starts with "bad".
+package fix
+
+// A plain finding with no directive anywhere near it.
+var badPlain = 1 // want "bad variable badPlain"
+
+// The directive-above-the-statement style suppresses the next line.
+//
+//lint:ignore dummy tested: directive above the statement
+var badAbove = 2
+
+var badSameLine = 3 //lint:ignore dummy tested: directive on the finding's own line
+
+// Inside a grouped declaration the directive is still line-scoped: it
+// suppresses the spec it annotates, not the whole group.
+var (
+	//lint:ignore dummy tested: directive inside a var group
+	badGrouped     = 4
+	badGroupedPeer = 5 // want "bad variable badGroupedPeer"
+)
+
+/* lint:ignore dummy block comments are not directives */
+var badAfterBlock = 6 // want "bad variable badAfterBlock"
+
+// Naming a different analyzer leaves this analyzer's finding standing.
+//
+//lint:ignore otherlinter wrong analyzer name
+var badWrongName = 7 // want "bad variable badWrongName"
+
+// A directive without a reason is not a directive at all.
+//
+//lint:ignore dummy
+var badNoReason = 8 // want "bad variable badNoReason"
+
+// Comma-separated analyzer lists suppress each named analyzer.
+//
+//lint:ignore otherlinter,dummy tested: list of analyzers
+var badListed = 9

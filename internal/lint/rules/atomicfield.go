@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"categorytree/internal/lint"
+)
+
+// AtomicField enforces all-or-nothing atomicity: a struct field accessed
+// through sync/atomic anywhere in the program must be accessed that way
+// everywhere. The analyzer builds a program-wide table of fields whose
+// address is passed to a sync/atomic function and reports three shapes of
+// violation:
+//
+//   - mixed access — a plain read or write of such a field (the racy half of
+//     a torn protocol; the race detector only catches it when both halves
+//     happen to run in one test);
+//   - by-value copies of structs carrying atomic-accessed fields or
+//     sync/atomic typed fields (the copy silently forks the counter and, for
+//     atomic types containing noCopy, breaks the vet contract too);
+//   - writes through a value after it was handed to
+//     (*sync/atomic.Pointer).Store or friends — the hand-off is the
+//     publication point, whatever the value's type.
+var AtomicField = &lint.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+// atomicPointerPublishers are the hand-off methods after which the stored
+// value is shared with concurrent readers.
+var atomicPointerPublishers = map[string]bool{
+	"(*sync/atomic.Pointer).Store":          true,
+	"(*sync/atomic.Pointer).Swap":           true,
+	"(*sync/atomic.Pointer).CompareAndSwap": true,
+	"(*sync/atomic.Value).Store":            true,
+	"(*sync/atomic.Value).Swap":             true,
+	"(*sync/atomic.Value).CompareAndSwap":   true,
+}
+
+func runAtomicField(pass *lint.Pass) {
+	atomics := pass.Prog.AtomicFields()
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		if len(atomics) > 0 {
+			sanctioned := atomicOperands(info, f)
+			checkMixedAccess(pass, f, atomics, sanctioned)
+			checkStructCopies(pass, f, atomics)
+		}
+		checkPostStoreWrites(pass, f)
+	}
+}
+
+// atomicOperands collects the selector nodes that appear as &x.f operands of
+// sync/atomic calls — the sanctioned accesses.
+func atomicOperands(info *types.Info, f *ast.File) map[ast.Expr]bool {
+	sanctioned := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeObj(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+				sanctioned[ast.Unparen(un.X)] = true
+			}
+		}
+		return true
+	})
+	return sanctioned
+}
+
+// checkMixedAccess reports plain selector accesses to fields in the atomic
+// table.
+func checkMixedAccess(pass *lint.Pass, f *ast.File, atomics map[string]token.Position, sanctioned map[ast.Expr]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		key, ok := lint.FieldKey(pass.Pkg, sel)
+		if !ok {
+			return true
+		}
+		anchor, hot := atomics[key]
+		if !hot {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"plain access to %s, which is accessed with sync/atomic at %s; mixing atomic and non-atomic access races", key, anchor)
+		return true
+	})
+}
+
+// checkStructCopies reports by-value copies of atomic-bearing structs at
+// assignments and var declarations.
+func checkStructCopies(pass *lint.Pass, f *ast.File, atomics map[string]token.Position) {
+	info := pass.Pkg.Info
+	checkExpr := func(src ast.Expr) {
+		switch ast.Unparen(src).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			// lvalue reads: the shapes that copy an existing value.
+		default:
+			return // literals construct, calls return ownership
+		}
+		t := info.TypeOf(src)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if key, bearing := atomicBearing(t, atomics, 0, map[string]bool{}); bearing {
+			pass.Reportf(src.Pos(),
+				"copying %s copies its atomically accessed fields by value; share it through a pointer", key)
+		}
+	}
+	blank := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) == len(stmt.Rhs) {
+				for i, rhs := range stmt.Rhs {
+					if !blank(stmt.Lhs[i]) { // discarding a value copies nothing observable
+						checkExpr(rhs)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range stmt.Values {
+				if i >= len(stmt.Names) || stmt.Names[i].Name != "_" {
+					checkExpr(v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// atomicBearing reports whether t is (or nests, to a small depth) a struct
+// with a sync/atomic typed field or a field in the atomic-access table, and
+// names the guilty type.
+func atomicBearing(t types.Type, atomics map[string]token.Position, depth int, seen map[string]bool) (string, bool) {
+	if t == nil || depth > 4 {
+		return "", false
+	}
+	key := lint.TypeKey(t)
+	if key != "" {
+		if seen[key] {
+			return "", false
+		}
+		seen[key] = true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		ft := field.Type()
+		if named, ok := types.Unalias(ft).(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+				return key, true
+			}
+		}
+		if key != "" {
+			if _, hot := atomics[key+"."+field.Name()]; hot {
+				return key, true
+			}
+		}
+		if sub, bearing := atomicBearing(ft, atomics, depth+1, seen); bearing {
+			if key != "" {
+				return key, true
+			}
+			return sub, true
+		}
+	}
+	return "", false
+}
+
+// checkPostStoreWrites reports writes through a value after it was handed to
+// an atomic.Pointer/Value publisher inside the same function.
+func checkPostStoreWrites(pass *lint.Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		handedOff := make(map[types.Object]bool)
+		for _, ev := range lint.FlowOf(info, fn).Events {
+			switch ev.Kind {
+			case lint.EventCall:
+				if ev.Callee == nil || !atomicPointerPublishers[lint.ObjKey(ev.Callee)] {
+					continue
+				}
+				for _, arg := range ev.Call.Args {
+					if c := lint.DecomposeChain(info, arg); c != nil && c.BaseObj != nil {
+						handedOff[c.BaseObj] = true
+					}
+				}
+			case lint.EventWrite:
+				if ev.Target == nil || ev.Target.BaseObj == nil || !handedOff[ev.Target.BaseObj] {
+					continue
+				}
+				pass.Reportf(ev.Node.Pos(),
+					"write to %s after it was handed to atomic store; readers already see it", ev.Target.BaseObj.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package rules
+
+import (
+	"go/ast"
+
+	"categorytree/internal/lint"
+)
+
+// HotAlloc keeps //oct:hotpath functions allocation-free. The annotated set
+// (sim.ScoreCounts, tree.(*ReadIndex).BestCoverCandidates, the serve read
+// cache hit path, the flight recorder's seal, trace.(*Span).EndAt) runs per
+// request or per span on the serving plane; one allocation per call is the
+// difference between steady-state-zero-GC and a pause budget.
+//
+// Two checks per annotated function:
+//
+//   - direct allocating constructs from the lint.AllocSites vocabulary
+//     (composite literals, closures, make/new, string concatenation and
+//     conversions, fmt calls, interface boxing at assignments);
+//   - calls to functions whose cross-package summary says they allocate,
+//     unless the callee is //oct:coldpath — the sanctioned slow-path exit
+//     (degenerate fallbacks, tail-sampled retention).
+//
+// Static conservatism is deliberate: append into pooled storage and boxing at
+// call boundaries are left to cmd/escapecheck and the benchgate allocs/op
+// gate, which see what the compiler and runtime actually do.
+var HotAlloc = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocating constructs in //oct:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *lint.Pass) {
+	prog := pass.Prog
+	annots := prog.Annotations()
+	if !hasAnnotation(annots, lint.AnnotHotPath) {
+		return
+	}
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnObj := info.Defs[fn.Name]
+			if fnObj == nil || !annots.Has(lint.ObjKey(fnObj), lint.AnnotHotPath) {
+				continue
+			}
+			for _, site := range lint.AllocSites(info, fn.Body) {
+				pass.Reportf(site.Pos,
+					"%s in //oct:hotpath function %s", site.What, fn.Name.Name)
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeObj(info, call)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+					return true // already reported as a direct site
+				}
+				key := lint.ObjKey(callee)
+				if annots.Has(key, lint.AnnotColdPath) {
+					return true
+				}
+				if sum := prog.Summary(key); sum != nil && sum.Allocates {
+					pass.Reportf(call.Pos(),
+						"call to %s allocates in //oct:hotpath function %s; move it behind an //oct:coldpath exit or preallocate", callee.Name(), fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}

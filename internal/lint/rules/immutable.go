@@ -1,0 +1,107 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"categorytree/internal/lint"
+)
+
+// Immutable enforces the build-then-publish contract declared by
+// //oct:immutable: once a value of an annotated type escapes its construction
+// site, nothing may write to it. The serving plane (tree.Tree, tree.ReadIndex,
+// serve.Snapshot, the flight recorder's sealed ring slots) is lock-free
+// precisely because published values never change; a single post-publish write
+// is a data race no test reliably catches.
+//
+// The analyzer allows exactly two mutation shapes:
+//
+//   - //oct:ctor functions of the declaring package — the sanctioned
+//     construction and build-phase API;
+//   - writes through a value that is provably still fresh in the current
+//     function (composite literal, &composite, make/new, or //oct:ctor call
+//     result that has not yet been handed to a storing callee).
+//
+// Everything else is a finding: direct field writes outside ctors, and calls
+// to receiver-mutating methods (per the cross-package summaries) on values
+// that came out of, or were already handed to, long-lived structures.
+var Immutable = &lint.Analyzer{
+	Name: "immutable",
+	Doc:  "writes to //oct:immutable values outside //oct:ctor construction paths",
+	Run:  runImmutable,
+}
+
+func runImmutable(pass *lint.Pass) {
+	prog := pass.Prog
+	annots := prog.Annotations()
+	isImmutable := func(typeKey string) bool { return annots.Has(typeKey, lint.AnnotImmutable) }
+	if !hasAnnotation(annots, lint.AnnotImmutable) {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnObj := pass.Pkg.Info.Defs[fn.Name]
+			isCtor := fnObj != nil && annots.Has(lint.ObjKey(fnObj), lint.AnnotCtor)
+			prog.ReplayFlow(pass.Pkg, fn, func(ev lint.FlowEvent, valueness func(types.Object) lint.Valueness) {
+				switch ev.Kind {
+				case lint.EventWrite:
+					key, touches := ev.Target.Touches(isImmutable)
+					if !touches {
+						return
+					}
+					// Sanctioned: a //oct:ctor of the type's own package.
+					if isCtor && declaringPkg(key) == pass.Pkg.Path {
+						return
+					}
+					// Sanctioned: the value is still under construction here.
+					if valueness(ev.Target.BaseObj) == lint.ValueFresh {
+						return
+					}
+					pass.Reportf(ev.Node.Pos(),
+						"write to //oct:immutable type %s outside a //oct:ctor of its package; published values are frozen", key)
+				case lint.EventCall:
+					if ev.Receiver == nil || ev.Callee == nil {
+						return
+					}
+					key, touches := ev.Receiver.Touches(isImmutable)
+					if !touches {
+						return
+					}
+					sum := prog.Summary(lint.ObjKey(ev.Callee))
+					if sum == nil || !sum.MutatesReceiver {
+						return
+					}
+					if valueness(ev.Receiver.BaseObj) == lint.ValuePublished {
+						pass.Reportf(ev.Call.Pos(),
+							"call to %s mutates a published //oct:immutable %s value; mutate before publishing or rebuild a fresh one", ev.Callee.Name(), key)
+					}
+				}
+			})
+		}
+	}
+}
+
+// hasAnnotation reports whether any key in the table carries annot.
+func hasAnnotation(annots lint.Annotations, annot string) bool {
+	for key := range annots {
+		if annots.Has(key, annot) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaringPkg extracts the package path from a "pkg/path.Name" type key.
+func declaringPkg(typeKey string) string {
+	for i := len(typeKey) - 1; i >= 0; i-- {
+		if typeKey[i] == '.' {
+			return typeKey[:i]
+		}
+	}
+	return ""
+}

@@ -13,9 +13,13 @@ import (
 	"categorytree/internal/lint"
 )
 
-// All returns every analyzer in presentation order.
+// All returns every analyzer in presentation order: the syntactic convention
+// checks first, then the dataflow-backed invariant checks.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{CtxFlow, ObsDiscipline, FloatEq, RandSource, TodoJira}
+	return []*lint.Analyzer{
+		CtxFlow, ObsDiscipline, FloatEq, RandSource, TodoJira,
+		Immutable, AtomicField, HotAlloc,
+	}
 }
 
 // pipelinePkgs are the packages forming the build pipeline: they are

@@ -52,6 +52,21 @@ func TestTodoJiraFixture(t *testing.T) {
 		filepath.Join("testdata", "todojira"), "fix/internal/gadget", "fmt")
 }
 
+func TestImmutableFixture(t *testing.T) {
+	linttest.Run(t, rules.Immutable,
+		filepath.Join("testdata", "immutable"), "fix/internal/tree", "sync/atomic")
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	linttest.Run(t, rules.AtomicField,
+		filepath.Join("testdata", "atomicfield"), "fix/internal/obs", "sync/atomic")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	linttest.Run(t, rules.HotAlloc,
+		filepath.Join("testdata", "hotalloc"), "fix/internal/sim", "fmt")
+}
+
 func TestAllRegistersEveryAnalyzer(t *testing.T) {
 	names := make(map[string]bool)
 	for _, a := range rules.All() {
@@ -63,7 +78,10 @@ func TestAllRegistersEveryAnalyzer(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"ctxflow", "obsdiscipline", "floateq", "randsource", "todojira"} {
+	for _, want := range []string{
+		"ctxflow", "obsdiscipline", "floateq", "randsource", "todojira",
+		"immutable", "atomicfield", "hotalloc",
+	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

@@ -1,0 +1,65 @@
+// Fixture for the atomicfield analyzer: type-checked under the fake import
+// path fix/internal/obs. Stats mixes atomic and plain access to the same
+// field; Gauge carries a typed atomic by value; Conf is re-mutated after an
+// atomic.Pointer hand-off.
+package fix
+
+import "sync/atomic"
+
+type Stats struct {
+	hits int64
+	name string
+}
+
+func (s *Stats) Hit() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *Stats) Load() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *Stats) racyRead() int64 {
+	return s.hits // want "plain access to fix/internal/obs.Stats.hits"
+}
+
+func (s *Stats) racyWrite() {
+	s.hits = 0 // want "plain access to fix/internal/obs.Stats.hits"
+}
+
+func (s *Stats) nameIsFine() string { return s.name }
+
+func copyStats(s *Stats) int64 {
+	cp := *s // want "copying fix/internal/obs.Stats copies its atomically accessed fields"
+	return cp.Load()
+}
+
+type holder struct{ inner Stats }
+
+func copyNested(h *holder) {
+	var cp holder = *h // want "copying fix/internal/obs.holder copies its atomically accessed fields"
+	_ = cp
+}
+
+type Gauge struct{ v atomic.Int64 }
+
+func copyGauge(g *Gauge) {
+	cp := *g // want "copying fix/internal/obs.Gauge copies its atomically accessed fields"
+	_ = cp
+}
+
+func pointersAreFine(g *Gauge) *Gauge {
+	p := g
+	return p
+}
+
+type Conf struct{ N int }
+
+var cur atomic.Pointer[Conf]
+
+func swapIn(c *Conf) {
+	cur.Store(c)
+	c.N = 1 // want "write to c after it was handed to atomic store"
+}
+
+func prepare() {
+	c := &Conf{}
+	c.N = 2 // fine: mutation before the hand-off
+	cur.Store(c)
+}

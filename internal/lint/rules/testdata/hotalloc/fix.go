@@ -1,0 +1,66 @@
+// Fixture for the hotalloc analyzer: type-checked under the fake import path
+// fix/internal/sim. Annotated functions stand in for the per-request scoring
+// and sealing paths that must stay allocation-free.
+package fix
+
+import "fmt"
+
+//oct:hotpath
+func score(xs []int, out []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	out = append(out, total) // fine: append into caller-owned storage
+	_ = out
+	return total
+}
+
+//oct:hotpath
+func buildLabels(n int) []string {
+	labels := make([]string, 0, n) // want "make in //oct:hotpath function buildLabels"
+	return labels
+}
+
+//oct:hotpath
+func describe(id int) string {
+	return fmt.Sprintf("node-%d", id) // want "fmt.Sprintf call in //oct:hotpath function describe"
+}
+
+func helperAllocates() []int { return []int{1, 2} }
+
+//oct:hotpath
+func callsHelper() []int {
+	return helperAllocates() // want "call to helperAllocates allocates in //oct:hotpath function callsHelper"
+}
+
+//oct:coldpath
+func slowExit() []int { return []int{1} }
+
+//oct:hotpath
+func fallsBack(ok bool) []int {
+	if !ok {
+		return slowExit() // fine: sanctioned //oct:coldpath exit
+	}
+	return nil
+}
+
+//oct:hotpath
+func closes() func() {
+	return func() {} // want "closure literal in //oct:hotpath function closes"
+}
+
+//oct:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation in //oct:hotpath function concat"
+}
+
+func notHot() []int {
+	return []int{1, 2, 3} // fine: unannotated functions may allocate freely
+}
+
+//oct:hotpath
+func suppressed(n int) []int {
+	//lint:ignore hotalloc warm-up path, measured at zero steady-state
+	return make([]int, n)
+}

@@ -1,0 +1,82 @@
+// Fixture for the immutable analyzer: type-checked under the fake import
+// path fix/internal/tree. Tree stands in for the real serving-plane
+// structures: built through //oct:ctor functions, frozen once published.
+package fix
+
+import "sync/atomic"
+
+// Tree is frozen after publication.
+//
+//oct:immutable
+type Tree struct {
+	root  *Node
+	label string
+}
+
+// Node hangs off a Tree and freezes with it.
+//
+//oct:immutable
+type Node struct {
+	Label string
+}
+
+// New builds a fresh Tree; its result counts as under construction.
+//
+//oct:ctor
+func New(label string) *Tree {
+	t := &Tree{label: label}
+	t.root = &Node{Label: label}
+	return t
+}
+
+// SetLabel is the sanctioned build-phase mutator.
+//
+//oct:ctor
+func (t *Tree) SetLabel(l string) { t.label = l }
+
+// Relabel writes the receiver without being a ctor: the declaration-site rule.
+func (t *Tree) Relabel(l string) {
+	t.label = l // want "write to //oct:immutable type fix/internal/tree.Tree outside a //oct:ctor"
+}
+
+var published atomic.Pointer[Tree]
+
+// Publish hands the tree to concurrent readers; no write follows, so it is
+// clean even though the parameter escapes.
+func Publish(t *Tree) {
+	published.Store(t)
+}
+
+func buildAndPublish() {
+	t := New("a")
+	t.SetLabel("b") // fine: still fresh
+	published.Store(t)
+	t.label = "c"   // want "write to //oct:immutable type fix/internal/tree.Tree"
+	t.SetLabel("d") // want "call to SetLabel mutates a published //oct:immutable fix/internal/tree.Tree"
+}
+
+func mutateLoaded() {
+	t := published.Load()
+	t.label = "x"   // want "write to //oct:immutable type fix/internal/tree.Tree"
+	t.SetLabel("y") // want "call to SetLabel mutates a published //oct:immutable fix/internal/tree.Tree"
+}
+
+func freshThroughout() *Tree {
+	t := &Tree{label: "z"}
+	t.label = "w" // fine: composite literal, never escaped
+	t.root = &Node{Label: "w"}
+	alias := t
+	alias.label = "v" // fine: copies inherit freshness
+	return t
+}
+
+func nestedWrite() {
+	t := published.Load()
+	t.root.Label = "deep" // want "write to //oct:immutable type fix/internal/tree"
+}
+
+func suppressed() {
+	t := published.Load()
+	//lint:ignore immutable exercising the escape hatch
+	t.label = "quiet"
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Summary is the cross-package behavioural digest of one function, computed
+// bottom-up over the call graph to a fixpoint so the facts are transitive: a
+// method that calls a mutator is a mutator.
+type Summary struct {
+	// MutatesReceiver: the method writes through its receiver (directly or
+	// by calling something that does).
+	MutatesReceiver bool
+	// MutatesArgs[i]: the function writes through parameter i.
+	MutatesArgs []bool
+	// StoresArgs[i]: parameter i (or a value derived from it) escapes into
+	// state that outlives the call — a field of another argument or the
+	// receiver, a global, another storing callee.
+	StoresArgs []bool
+	// PublishesArgs[i]: parameter i escapes into state shared with
+	// concurrent readers — a package-level variable, an atomic.Pointer
+	// store, a sync.Map — directly or through a publishing callee. Handing
+	// a fresh value to a publishing function ends its build phase; a store
+	// into another argument (StoresArgs without PublishesArgs) does not.
+	PublishesArgs []bool
+	// Allocates: the function's non-coldpath execution contains an
+	// allocating construct, directly or transitively. Calls to //oct:coldpath
+	// functions do not propagate — that is the sanctioned slow-path exit.
+	Allocates bool
+}
+
+// knownSummaries are hand-written summaries for external (export-data-only)
+// functions the analyses must understand. Everything absent defaults to the
+// zero Summary: external code is assumed neither mutating nor storing nor
+// allocating, which keeps the analyzers quiet about stdlib internals and
+// leaves the dynamic side (race detector, escapecheck, benchgate allocs) to
+// catch what static conservatism misses.
+var knownSummaries = map[string]*Summary{
+	"(*sync/atomic.Pointer).Store":          {StoresArgs: []bool{true}, PublishesArgs: []bool{true}},
+	"(*sync/atomic.Pointer).Swap":           {StoresArgs: []bool{true}, PublishesArgs: []bool{true}},
+	"(*sync/atomic.Pointer).CompareAndSwap": {StoresArgs: []bool{false, true}, PublishesArgs: []bool{false, true}},
+	"(*sync/atomic.Value).Store":            {StoresArgs: []bool{true}, PublishesArgs: []bool{true}},
+	"(*sync.Map).Store":                     {StoresArgs: []bool{true, true}, PublishesArgs: []bool{true, true}},
+	"(*sync.Map).LoadOrStore":               {StoresArgs: []bool{true, true}, PublishesArgs: []bool{true, true}},
+	"(*sync.Map).Swap":                      {StoresArgs: []bool{true, true}, PublishesArgs: []bool{true, true}},
+	"context.WithValue":                     {StoresArgs: []bool{false, true, true}},
+}
+
+// allocatingExternals name external functions that allocate on every call.
+// fmt is covered wholesale by externalAllocates.
+var allocatingExternals = map[string]bool{
+	"strconv.Itoa": true, "strconv.Quote": true, "strconv.FormatInt": true,
+	"strconv.FormatFloat": true, "strconv.AppendInt": true,
+	"strings.Join": true, "strings.Repeat": true, "strings.ToLower": true,
+	"strings.ToUpper": true, "strings.Split": true, "strings.Fields": true,
+	"bytes.Clone": true, "slices.Clone": true, "maps.Clone": true,
+	"sort.Slice": true, "sort.SliceStable": true, // closure + reflect header
+	"errors.New": true,
+}
+
+// externalAllocates reports whether the external function behind key is
+// known to allocate.
+func externalAllocates(key string) bool {
+	return strings.HasPrefix(key, "fmt.") || strings.HasPrefix(key, "(fmt.") ||
+		allocatingExternals[key]
+}
+
+// externalSummary returns the known summary for an external callee key, or
+// nil.
+func externalSummary(key string) *Summary {
+	if s, ok := knownSummaries[key]; ok {
+		return s
+	}
+	if externalAllocates(key) {
+		return &Summary{Allocates: true}
+	}
+	return nil
+}
+
+// funcNode is one source-analyzed function: the unit of summary computation.
+type funcNode struct {
+	key    string
+	pkg    *Package
+	decl   *ast.FuncDecl
+	flow   *FuncFlow
+	recv   types.Object   // receiver variable, nil for plain functions
+	params []types.Object // parameter variables in order
+}
+
+// newFuncNode builds the node for fn, or nil when the declaration has no
+// resolvable object.
+func newFuncNode(pkg *Package, fn *ast.FuncDecl) *funcNode {
+	obj := pkg.Info.Defs[fn.Name]
+	if obj == nil {
+		return nil
+	}
+	n := &funcNode{key: ObjKey(obj), pkg: pkg, decl: fn, flow: FlowOf(pkg.Info, fn)}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		n.recv = pkg.Info.Defs[fn.Recv.List[0].Names[0]]
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				n.params = append(n.params, pkg.Info.Defs[name])
+			}
+		}
+	}
+	return n
+}
+
+// computeSummaries runs the bottom-up fixpoint over every source-analyzed
+// function. Facts only ever flip false→true, so iteration terminates.
+func computeSummaries(funcs map[string]*funcNode, annots Annotations) map[string]*Summary {
+	sums := make(map[string]*Summary, len(funcs))
+	for key, fn := range funcs {
+		sums[key] = &Summary{
+			MutatesArgs:   make([]bool, len(fn.params)),
+			StoresArgs:    make([]bool, len(fn.params)),
+			PublishesArgs: make([]bool, len(fn.params)),
+		}
+	}
+	lookup := func(key string) *Summary {
+		if s, ok := sums[key]; ok {
+			return s
+		}
+		return externalSummary(key)
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, fn := range funcs {
+			if updateSummary(fn, sums[key], lookup, annots) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// updateSummary recomputes one function's facts against the current tables,
+// reporting whether anything flipped.
+func updateSummary(fn *funcNode, sum *Summary, lookup func(string) *Summary, annots Annotations) bool {
+	info := fn.pkg.Info
+	changed := false
+	set := func(dst *bool) {
+		if !*dst {
+			*dst = true
+			changed = true
+		}
+	}
+
+	// trackedIndex resolves an object to receiver (-1) or a parameter index,
+	// or -2 when it is neither.
+	trackedIndex := func(obj types.Object) int {
+		if obj == nil {
+			return -2
+		}
+		if obj == fn.recv {
+			return -1
+		}
+		for i, p := range fn.params {
+			if obj == p {
+				return i
+			}
+		}
+		return -2
+	}
+	mark := func(idx int, recvBit *bool, argBits []bool) {
+		switch {
+		case idx == -1:
+			set(recvBit)
+		case idx >= 0 && idx < len(argBits):
+			set(&argBits[idx])
+		}
+	}
+
+	// derived[i] holds the local variables whose values were built from
+	// parameter i (receiver at slot len(params)); used for store tracking.
+	derived := make([]map[types.Object]bool, len(fn.params)+1)
+	trackedOrDerived := func(expr ast.Expr, slot int) bool {
+		var root types.Object
+		if slot == len(fn.params) {
+			root = fn.recv
+		} else {
+			root = fn.params[slot]
+		}
+		if root == nil {
+			return false
+		}
+		if exprMentions(info, expr, root) {
+			return true
+		}
+		for obj := range derived[slot] {
+			if exprMentions(info, expr, obj) {
+				return true
+			}
+		}
+		return false
+	}
+	storeSlot := func(slot int) {
+		if slot == len(fn.params) {
+			return // receiver escaping into itself is not a store
+		}
+		set(&sum.StoresArgs[slot])
+	}
+	publishSlot := func(slot int) {
+		if slot == len(fn.params) {
+			return
+		}
+		set(&sum.StoresArgs[slot])
+		set(&sum.PublishesArgs[slot])
+	}
+
+	for _, ev := range fn.flow.Events {
+		switch ev.Kind {
+		case EventAssign:
+			if ev.Dest == nil || ev.Src == nil {
+				continue
+			}
+			// Assignment into a package-level variable is a store: the value
+			// outlives the call.
+			if isPackageLevel(ev.Dest) {
+				for slot := range derived {
+					if trackedOrDerived(ev.Src, slot) {
+						publishSlot(slot)
+					}
+				}
+				continue
+			}
+			// Propagate derivation: dest := expr-mentioning-tracked.
+			for slot := range derived {
+				if trackedOrDerived(ev.Src, slot) {
+					if derived[slot] == nil {
+						derived[slot] = make(map[types.Object]bool)
+					}
+					derived[slot][ev.Dest] = true
+				}
+			}
+		case EventWrite:
+			if ev.Target == nil {
+				continue
+			}
+			// Mutation: writing through a chain based on receiver/param.
+			mark(trackedIndex(ev.Target.BaseObj), &sum.MutatesReceiver, sum.MutatesArgs)
+			// Store: a tracked value escapes into state based outside the
+			// function's own frame (receiver, param, or package-level var).
+			baseIdx := trackedIndex(ev.Target.BaseObj)
+			global := isPackageLevel(ev.Target.BaseObj)
+			if baseIdx == -2 && !global {
+				continue
+			}
+			var rhs ast.Expr
+			if as, ok := ev.Node.(*ast.AssignStmt); ok && len(as.Rhs) > 0 {
+				rhs = as.Rhs[len(as.Rhs)-1]
+			}
+			if rhs == nil {
+				continue
+			}
+			for slot := range derived {
+				if slot == baseIdx || !trackedOrDerived(rhs, slot) {
+					continue
+				}
+				// A write into a package-level structure publishes; a write
+				// into another argument's structure merely stores.
+				if global {
+					publishSlot(slot)
+				} else {
+					storeSlot(slot)
+				}
+			}
+		case EventCall:
+			callee := ev.Callee
+			if callee == nil {
+				continue
+			}
+			calleeSum := lookup(ObjKey(callee))
+			if calleeSum == nil {
+				continue
+			}
+			// Receiver mutation propagates through method calls.
+			if calleeSum.MutatesReceiver && ev.Receiver != nil {
+				mark(trackedIndex(ev.Receiver.BaseObj), &sum.MutatesReceiver, sum.MutatesArgs)
+			}
+			for i, arg := range ev.Call.Args {
+				argIdx := -2
+				if c := DecomposeChain(info, arg); c != nil {
+					argIdx = trackedIndex(c.BaseObj)
+				}
+				if i < len(calleeSum.MutatesArgs) && calleeSum.MutatesArgs[i] {
+					mark(argIdx, &sum.MutatesReceiver, sum.MutatesArgs)
+				}
+				if i < len(calleeSum.StoresArgs) && calleeSum.StoresArgs[i] {
+					publishes := i < len(calleeSum.PublishesArgs) && calleeSum.PublishesArgs[i]
+					for slot := range derived {
+						if !trackedOrDerived(arg, slot) {
+							continue
+						}
+						if publishes {
+							publishSlot(slot)
+						} else {
+							storeSlot(slot)
+						}
+					}
+				}
+			}
+			// Allocation propagates through calls, except into sanctioned
+			// cold paths.
+			if calleeSum.Allocates && !annots.Has(ObjKey(callee), AnnotColdPath) {
+				set(&sum.Allocates)
+			}
+		}
+	}
+
+	// Direct allocating constructs.
+	if !sum.Allocates && fn.decl.Body != nil {
+		if len(AllocSites(info, fn.decl.Body)) > 0 {
+			set(&sum.Allocates)
+		}
+	}
+	return changed
+}
+
+// isPackageLevel reports whether obj is a package-scoped variable.
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReplayFlow replays fn's event stream in source order, maintaining a
+// valueness table for the function's local values, and calls visit for each
+// event with the state as of that program point (before the event's own
+// effect is applied).
+//
+// The classification rules mirror the build-then-publish discipline the
+// analyzers enforce:
+//
+//   - a composite literal, &composite, or //oct:ctor call result is Fresh:
+//     still under construction, mutation is the build phase working;
+//   - the result of a known published-state accessor (atomic.Pointer.Load
+//     and friends) is Published: it came out of a structure concurrent
+//     readers share;
+//   - handing a value to a publishing callee (PublishesArgs: atomic stores,
+//     sync.Map, anything that transitively reaches one or a global) or
+//     assigning it into a package-level variable publishes it — but a callee
+//     that merely stores one argument inside another (StoresArgs without
+//     PublishesArgs) is still the build phase wiring a structure together;
+//   - copies inherit the source's valueness; everything else — including
+//     ordinary call results — stays Unknown (ordinary accessors return
+//     nodes of trees that may still be under construction; the strict
+//     direct-write rule, not valueness, polices those).
+func (p *Program) ReplayFlow(pkg *Package, fn *ast.FuncDecl, visit func(ev FlowEvent, valueness func(types.Object) Valueness)) {
+	info := pkg.Info
+	flow := FlowOf(info, fn)
+	annots := p.Annotations()
+	val := make(map[types.Object]Valueness)
+	lookup := func(obj types.Object) Valueness { return val[obj] }
+
+	// mentionsWith reports whether expr mentions any local currently in
+	// state want.
+	mentionsWith := func(expr ast.Expr, want Valueness) bool {
+		for obj, v := range val {
+			if v == want && exprMentions(info, expr, obj) {
+				return true
+			}
+		}
+		return false
+	}
+	publishMentioned := func(expr ast.Expr) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if _, isVar := obj.(*types.Var); isVar {
+				val[obj] = ValuePublished
+			}
+			return true
+		})
+	}
+
+	for _, ev := range flow.Events {
+		visit(ev, lookup)
+		switch ev.Kind {
+		case EventAssign:
+			if ev.Dest == nil || ev.Src == nil {
+				continue
+			}
+			if isPackageLevel(ev.Dest) {
+				publishMentioned(ev.Src)
+				continue
+			}
+			val[ev.Dest] = classify(p, info, ev.Src, annots, mentionsWith)
+		case EventCall:
+			callee := ev.Callee
+			if callee == nil {
+				continue
+			}
+			sum := p.Summary(ObjKey(callee))
+			if sum == nil {
+				continue
+			}
+			for i, arg := range ev.Call.Args {
+				if i < len(sum.PublishesArgs) && sum.PublishesArgs[i] {
+					publishMentioned(arg)
+				}
+			}
+		}
+	}
+}
+
+// publishedAccessors are callees whose results come straight out of state
+// shared with concurrent readers: mutating what they return is never a build
+// phase.
+var publishedAccessors = map[string]bool{
+	"(*sync/atomic.Pointer).Load": true,
+	"(*sync/atomic.Pointer).Swap": true,
+	"(*sync/atomic.Value).Load":   true,
+	"(*sync/atomic.Value).Swap":   true,
+	"(*sync.Map).Load":            true,
+	"(*sync.Map).LoadOrStore":     true,
+}
+
+// classify determines the valueness a fresh binding takes from its source
+// expression.
+func classify(p *Program, info *types.Info, src ast.Expr, annots Annotations, mentionsWith func(ast.Expr, Valueness) bool) Valueness {
+	switch e := ast.Unparen(src).(type) {
+	case *ast.CompositeLit:
+		return ValueFresh
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return ValueFresh
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			break // conversion: fall through to mention-based inheritance
+		}
+		callee := calleeOf(info, e)
+		if callee == nil {
+			return ValueUnknown
+		}
+		if _, isBuiltin := callee.(*types.Builtin); isBuiltin {
+			return ValueFresh // make/new results are this function's own
+		}
+		key := ObjKey(callee)
+		if annots.Has(key, AnnotCtor) {
+			return ValueFresh
+		}
+		if publishedAccessors[key] {
+			return ValuePublished
+		}
+		return ValueUnknown
+	}
+	if mentionsWith(src, ValuePublished) {
+		return ValuePublished
+	}
+	if mentionsWith(src, ValueFresh) {
+		return ValueFresh
+	}
+	return ValueUnknown
+}
+
+// FieldKey resolves expr — a selector picking a struct field — to its
+// owning-struct-qualified key ("pkg/path.Struct.field") and position, or "".
+// It is the key vocabulary of Program.AtomicFields.
+func FieldKey(pkg *Package, expr ast.Expr) (string, bool) {
+	key, _ := fieldKeyOf(pkg, ast.Unparen(expr))
+	return key, key != ""
+}

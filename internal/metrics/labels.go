@@ -53,7 +53,7 @@ func SuggestLabels(t *tree.Tree, titles []string, maxTokens int) {
 	walk = func(n *tree.Node, parentShare map[string]float64) {
 		s := share(n)
 		if n.Label == "" && n != t.Root() && n.Items.Len() > 0 {
-			n.Label = distinguishingLabel(s, parentShare, maxTokens)
+			n.SetLabel(distinguishingLabel(s, parentShare, maxTokens))
 		}
 		for _, c := range n.Children() {
 			walk(c, s)

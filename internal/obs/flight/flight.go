@@ -74,6 +74,11 @@ type ring struct {
 	pos   atomic.Uint64 // next sequence number, 1-based
 }
 
+// ringSlot is one packed wide-event slot. Slots are rewritten only by the
+// ring's own record method under the slot mutex; everything else (zpage
+// snapshots) copies the slot out under that mutex and never writes back.
+//
+//oct:immutable rewritten only via (*ring).record
 type ringSlot struct {
 	mu  sync.Mutex
 	seq uint64 // 0 = never written
@@ -183,6 +188,10 @@ func newRing(size int) *ring {
 	return &ring{slots: make([]ringSlot, size)}
 }
 
+// record claims the next slot and rewrites it in place — the one sanctioned
+// write path for ring slots.
+//
+//oct:ctor
 func (r *ring) record(ev *Event) {
 	seq := r.pos.Add(1)
 	s := &r.slots[(seq-1)%uint64(len(r.slots))]
@@ -471,6 +480,8 @@ func (rec *Recorder) histogramFor(endpoint string) *obs.Histogram {
 
 // threshold returns the cached cutoff for endpoint, recomputing it from the
 // live latency histogram every thresholdRefresh calls.
+//
+//oct:coldpath unpinned-endpoint fallback; may create the threshold slot
 func (rec *Recorder) threshold(endpoint string) time.Duration {
 	return rec.endpointState(endpoint).current(rec.histogramFor(endpoint), rec.opt.MinSamples, rec.opt.SlowQuantile)
 }
@@ -634,7 +645,11 @@ func (q *Request) FinishLatency(status int, d time.Duration) {
 	q.rec.reqs.Put(q)
 }
 
-// seal runs the tail-sampling decision and records the wide event.
+// seal runs the tail-sampling decision and records the wide event. It runs
+// once per request whatever the outcome, so it must not allocate; the
+// allocating retention work lives behind the //oct:coldpath retain exit.
+//
+//oct:hotpath runs at the end of every request
 func (q *Request) seal(status int, d time.Duration) {
 	q.done = true
 	q.ev.LatencyNS = d.Nanoseconds()
@@ -657,13 +672,23 @@ func (q *Request) seal(status int, d time.Duration) {
 	}
 	if q.ev.Reason != "" {
 		q.ev.Retained = true
-		q.rec.store.add(&RetainedTrace{Event: q.ev, Spans: q.tr.Events()})
-		if q.rec.retained != nil {
-			q.rec.retained.Inc()
-		}
+		q.retain()
 	}
 	q.rec.ring.record(&q.ev)
 	if q.rec.recorded != nil {
 		q.rec.recorded.Inc()
+	}
+}
+
+// retain promotes the request's span tree to the retained-trace store. The
+// allocation here is the product — a trace copy that outlives the pooled
+// request — and it runs only for the sampled tail, which is what makes it a
+// sanctioned slow exit off the seal path.
+//
+//oct:coldpath tail-sampled retention; allocates the retained copy
+func (q *Request) retain() {
+	q.rec.store.add(&RetainedTrace{Event: q.ev, Spans: q.tr.Events()})
+	if q.rec.retained != nil {
+		q.rec.retained.Inc()
 	}
 }

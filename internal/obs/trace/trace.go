@@ -212,6 +212,8 @@ func (s *Span) End() {
 // EndAt is End with a caller-supplied completion time. The span completes in
 // place — two plain stores; Events reads the completed spans out of the
 // arena later.
+//
+//oct:hotpath closes every span on every request
 func (s *Span) EndAt(now time.Time) {
 	if s == nil {
 		return

@@ -41,6 +41,8 @@ func newReadCache(capacity int) *readCache {
 }
 
 // get returns the cached response body for key, refreshing its LRU stamp.
+//
+//oct:hotpath the cache-hit path of every read request: one Load, two atomics
 func (c *readCache) get(key string) ([]byte, bool) {
 	if c == nil {
 		return nil, false

@@ -24,6 +24,8 @@ import (
 // the response cache for exactly this version. Because the cache lives and
 // dies with its snapshot, a publish invalidates every cached response for
 // free — the old cache becomes garbage along with the old tree.
+//
+//oct:immutable frozen at the atomic pointer store in Publish
 type Snapshot struct {
 	// Tree is the frozen category tree. It must not be mutated after
 	// publication.
@@ -80,6 +82,8 @@ func NewPublisher(reg *obs.Registry, cacheSize int) *Publisher {
 // swaps the snapshot pointer. In-flight readers keep the snapshot they
 // already loaded; new readers observe the new version immediately. The tree
 // must not be mutated after this call.
+//
+//oct:ctor the one sanctioned construction path for Snapshot
 func (p *Publisher) Publish(t *tree.Tree) *Snapshot {
 	// The expensive derivation runs before taking mu; the lock covers only
 	// version assignment and the pointer store, and only publishers contend

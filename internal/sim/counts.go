@@ -12,6 +12,8 @@ package sim
 //	Score(v, q, c, delta) == ScoreCounts(v, q.Len(), c.Len(), q.IntersectSize(c), delta)
 //
 // holds bit for bit; TestScoreCountsMatchesScore pins the equivalence.
+//
+//oct:hotpath scores every candidate of every categorize request
 func ScoreCounts(v Variant, qLen, cLen, inter int, delta float64) float64 {
 	switch v {
 	case CutoffJaccard:
@@ -52,8 +54,19 @@ func ScoreCounts(v Variant, qLen, cLen, inter int, delta float64) float64 {
 		}
 		return 0
 	default:
-		panic("sim: ScoreCounts called with invalid variant")
+		badVariant()
+		return 0
 	}
+}
+
+// badVariant hosts the diagnostic panic outside the hot path: boxing the
+// message string into panic's interface argument is a heap escape that
+// escapecheck would otherwise charge to ScoreCounts itself.
+//
+//go:noinline
+//oct:coldpath diagnostic panic, boxes its message
+func badVariant() {
+	panic("sim: ScoreCounts called with invalid variant")
 }
 
 // jaccardCounts mirrors intset.Set.Jaccard: |q∩C| / |q∪C|, J(∅,∅) = 1.

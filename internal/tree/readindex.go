@@ -20,6 +20,8 @@ import (
 // the tree it was built from; mutating that tree afterwards invalidates the
 // index — the serving layer never does (snapshots are frozen), and nothing
 // else should either.
+//
+//oct:immutable derived read structure, frozen from the moment Build returns
 type ReadIndex struct {
 	t *Tree
 	// nodes is the preorder node sequence; postings refer to nodes by their
@@ -50,6 +52,8 @@ type readScratch struct {
 // walk plus O(Σ_C |C|) posting appends — linear in the total item mass of
 // the tree — so building once per publish is cheap next to the build that
 // produced the tree.
+//
+//oct:ctor
 func BuildReadIndex(t *Tree) *ReadIndex {
 	ix := &ReadIndex{t: t}
 	maxItem := intset.Item(-1)
@@ -118,14 +122,15 @@ func (ix *ReadIndex) BestCover(v sim.Variant, q intset.Set, delta float64) (*Nod
 // onto its wide events (a slow query with thousands of candidates and a slow
 // query with three are different bugs). The exhaustive fallback reports the
 // full node count.
+//
+//oct:hotpath per-request categorization; steady state must not allocate
 func (ix *ReadIndex) BestCoverCandidates(v sim.Variant, q intset.Set, delta float64) (*Node, float64, int) {
 	// Degenerate regimes where zero-intersection categories can still score:
 	// an empty query (recall conventions), or a threshold variant whose δ is
 	// at or below the float tolerance (AtLeast(0, δ) holds, so every node
 	// scores 1). Both fall back to the exhaustive scan for exact parity.
 	if q.Empty() || (delta <= sim.Eps && (v == sim.ThresholdJaccard || v == sim.ThresholdF1)) {
-		n, score := ix.t.BestCover(v, q, delta)
-		return n, score, len(ix.nodes)
+		return ix.bestCoverExhaustive(v, q, delta)
 	}
 	sc := ix.scratch.Get().(*readScratch)
 	counts, touched := sc.counts, sc.touched[:0]
@@ -159,4 +164,16 @@ func (ix *ReadIndex) BestCoverCandidates(v sim.Variant, q intset.Set, delta floa
 	sc.touched = touched
 	ix.scratch.Put(sc)
 	return best, bestScore, candidates
+}
+
+// bestCoverExhaustive is the full-walk fallback for the degenerate regimes
+// where the postings index cannot prune (empty queries, δ≈0 threshold
+// variants). It allocates (the walk closes over state) and visits every node,
+// which is exactly why it is a sanctioned slow path rather than part of the
+// hot loop.
+//
+//oct:coldpath degenerate-query fallback, full scan
+func (ix *ReadIndex) bestCoverExhaustive(v sim.Variant, q intset.Set, delta float64) (*Node, float64, int) {
+	n, score := ix.t.BestCover(v, q, delta)
+	return n, score, len(ix.nodes)
 }

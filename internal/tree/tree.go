@@ -19,6 +19,12 @@ import (
 )
 
 // Node is one category in the tree. The root holds all items of the tree.
+//
+// Nodes are frozen once their tree is published to the serving plane; the
+// lock-free read path depends on it. Mutate only through the tree's
+// //oct:ctor methods and the Set*/Append* build-phase setters.
+//
+//oct:immutable frozen with the owning Tree after publication
 type Node struct {
 	// ID is a stable identifier unique within the tree.
 	ID int
@@ -53,7 +59,30 @@ func (n *Node) Depth() int {
 	return d
 }
 
+// SetItems replaces the category's item set. Build-phase only: algorithms
+// rewrite item sets while shaping the tree, never after publication.
+//
+//oct:ctor
+func (n *Node) SetItems(items intset.Set) { n.Items = items }
+
+// SetLabel replaces the category's label. Build-phase only.
+//
+//oct:ctor
+func (n *Node) SetLabel(label string) { n.Label = label }
+
+// AppendCovers records additional input sets this category covers.
+// Build-phase only.
+//
+//oct:ctor
+func (n *Node) AppendCovers(ids ...oct.SetID) { n.Covers = append(n.Covers, ids...) }
+
 // Tree is a category tree. The zero value is not usable; construct with New.
+//
+// A Tree is built single-threaded through the //oct:ctor methods below and
+// frozen the moment it is handed to serve.Publisher.Publish (or any other
+// atomic hand-off); after that, readers walk it without locks.
+//
+//oct:immutable frozen after hand-off to the serving plane
 type Tree struct {
 	root   *Node
 	nextID int
@@ -61,6 +90,8 @@ type Tree struct {
 }
 
 // New creates a tree whose root initially holds the given items.
+//
+//oct:ctor
 func New(rootItems intset.Set) *Tree {
 	t := &Tree{nodes: make(map[int]*Node)}
 	t.root = &Node{ID: 0, Items: rootItems, Label: "root"}
@@ -82,6 +113,8 @@ func (t *Tree) Len() int { return len(t.nodes) }
 // (the root if parent is nil). Ancestor item sets are NOT updated
 // automatically; use AddItems or rely on construction order. It panics if
 // parent belongs to a different tree.
+//
+//oct:ctor
 func (t *Tree) AddCategory(parent *Node, items intset.Set, label string) *Node {
 	if parent == nil {
 		parent = t.root
@@ -98,6 +131,8 @@ func (t *Tree) AddCategory(parent *Node, items intset.Set, label string) *Node {
 
 // AddItems inserts items into n and every ancestor of n, preserving the
 // union invariant.
+//
+//oct:ctor
 func (t *Tree) AddItems(n *Node, items intset.Set) {
 	for cur := n; cur != nil; cur = cur.parent {
 		cur.Items = cur.Items.Union(items)
@@ -107,6 +142,8 @@ func (t *Tree) AddItems(n *Node, items intset.Set) {
 // RemoveItems deletes items from n and every descendant of n. Ancestors are
 // left untouched; callers remove from the highest node that should lose the
 // items.
+//
+//oct:ctor
 func (t *Tree) RemoveItems(n *Node, items intset.Set) {
 	n.Items = n.Items.Diff(items)
 	for _, c := range n.children {
@@ -117,6 +154,8 @@ func (t *Tree) RemoveItems(n *Node, items intset.Set) {
 // Reparent moves n (with its whole subtree) under newParent and restores the
 // union invariant along the new ancestor chain. It panics on attempts to
 // create a cycle.
+//
+//oct:ctor
 func (t *Tree) Reparent(n, newParent *Node) {
 	if n == t.root {
 		panic("tree: cannot reparent the root")
@@ -134,6 +173,8 @@ func (t *Tree) Reparent(n, newParent *Node) {
 
 // RemoveCategory deletes n, splicing its children onto n's parent. The root
 // cannot be removed.
+//
+//oct:ctor
 func (t *Tree) RemoveCategory(n *Node) {
 	if n == t.root {
 		panic("tree: cannot remove the root")
@@ -148,6 +189,7 @@ func (t *Tree) RemoveCategory(n *Node) {
 	delete(t.nodes, n.ID)
 }
 
+//oct:ctor
 func (t *Tree) detach(n *Node) {
 	siblings := n.parent.children
 	for i, c := range siblings {
@@ -326,6 +368,8 @@ func (t *Tree) ComputeStats() Stats {
 
 // SortChildren orders every node's children by descending size then ID, for
 // deterministic rendering and tests.
+//
+//oct:ctor
 func (t *Tree) SortChildren() {
 	t.Walk(func(n *Node) {
 		sort.Slice(n.children, func(i, j int) bool {
