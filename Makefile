@@ -26,11 +26,13 @@ lint:
 fmt:
 	gofmt -w .
 
-# Fuzz the Section-2 tree invariants; FUZZTIME=5m make fuzz for a deep run.
+# Fuzz the Section-2 tree invariants and the delta mutation decoder;
+# FUZZTIME=5m make fuzz for a deep run.
 fuzz:
 	for target in FuzzIntset FuzzCTCRBuild FuzzCCTBuild FuzzCCTBuildLarge; do \
 		$(GO) test ./internal/invariant/ -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	$(GO) test ./internal/delta/ -run '^$$' -fuzz '^FuzzDeltaApply$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
@@ -38,7 +40,7 @@ bench:
 # Packages whose benchmarks feed the failing CI regression gate, and the
 # exact sampling CI uses: 10 iterations gives the Mann-Whitney test enough
 # samples to reach p < 0.05 (a single-iteration baseline never can).
-BENCH_GATE_PKGS = ./internal/conflict/ ./internal/mis/ ./internal/assign/ ./internal/tree/ ./internal/serve/
+BENCH_GATE_PKGS = ./internal/conflict/ ./internal/mis/ ./internal/assign/ ./internal/tree/ ./internal/serve/ ./internal/delta/
 BENCH_GATE_ARGS = -run '^$$' -bench . -count=10 -benchtime=100ms -benchmem
 
 # Regenerate BENCH_baseline.txt exactly the way CI consumes it: the full

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/tree"
+)
+
+// runSelf invokes the command the way a user would, via go run, and returns
+// its combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeTree(t *testing.T, path string, build func(*tree.Tree)) {
+	t.Helper()
+	tr := tree.New(intset.Range(0, 8))
+	build(tr)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffReportsStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTree(t, oldPath, func(tr *tree.Tree) {
+		tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
+		tr.AddCategory(nil, intset.New(3, 4), "cameras")
+	})
+	writeTree(t, newPath, func(tr *tree.Tree) {
+		tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
+		tr.AddCategory(nil, intset.New(5, 6), "lenses")
+	})
+	out, err := runSelf(t, "-old", oldPath, "-new", newPath)
+	if err != nil {
+		t.Fatalf("octdiff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "stability") || !strings.Contains(out, "matched") {
+		t.Fatalf("missing report summary:\n%s", out)
+	}
+}
+
+func TestBadFlagsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	writeTree(t, oldPath, func(tr *tree.Tree) {
+		tr.AddCategory(nil, intset.New(0, 1), "only")
+	})
+	for _, tc := range [][]string{
+		{"-old", oldPath, "-new", filepath.Join(dir, "missing.json")}, // absent candidate
+		{"-old", filepath.Join(dir, "nope.json"), "-new", oldPath},    // absent baseline
+		{"-no-such-flag"}, // flag parse error
+	} {
+		out, err := runSelf(t, tc...)
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("octdiff %v: want non-zero exit, got err=%v\n%s", tc, err, out)
+		}
+	}
+}

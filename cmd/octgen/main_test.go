@@ -1,0 +1,61 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSelf invokes the command the way a user would, via go run, and returns
+// its combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestGenerateWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "instance.json")
+	treeOut := filepath.Join(dir, "existing.json")
+	titles := filepath.Join(dir, "titles.txt")
+	out, err := runSelf(t, "-dataset", "A", "-scale", "0.02",
+		"-out", inst, "-tree", treeOut, "-titles", titles)
+	if err != nil {
+		t.Fatalf("octgen failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "instance written to") {
+		t.Fatalf("missing confirmation line:\n%s", out)
+	}
+	for _, p := range []string{inst, treeOut, titles} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestBadFlagsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, tc := range [][]string{
+		{"-dataset", "Z"},          // unknown dataset letter
+		{"-variant", "nope"},       // unknown similarity variant
+		{"-no-such-flag"},          // flag parse error
+		{"-out", "/dev/null/nope"}, // unwritable output path
+	} {
+		out, err := runSelf(t, tc...)
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("octgen %v: want non-zero exit, got err=%v\n%s", tc, err, out)
+		}
+	}
+}

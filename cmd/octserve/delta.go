@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"categorytree/internal/delta"
+	"categorytree/internal/obs"
+	"categorytree/internal/treediff"
+)
+
+// deltaRequest is the POST /catalog/delta body: one atomic batch of catalog
+// mutations in delta.Mutation's JSON shape ({"op": "add"|"remove"|
+// "reweight", ...}).
+type deltaRequest struct {
+	Mutations []delta.Mutation `json:"mutations"`
+}
+
+// deltaView is the response: the snapshot version the patched tree was
+// published as, what the batch did, the engine's cumulative counters, and
+// the minimal edit script turning the previously published delta tree into
+// this one (null on the first batch — there is no previous delta tree to
+// diff against). Clients mirroring the tree apply the script; everyone else
+// just re-reads the serve endpoints, which already see the new snapshot.
+type deltaView struct {
+	Version    uint64               `json:"version"`
+	Categories int                  `json:"categories"`
+	Live       int                  `json:"live"`
+	Report     delta.ApplyReport    `json:"report"`
+	Stats      delta.Stats          `json:"stats"`
+	Edits      *treediff.EditScript `json:"edits,omitempty"`
+}
+
+// maxDeltaBody bounds the request body: a mutation is a few dozen bytes, so
+// 8 MiB admits batches far beyond the damage budget of any real catalog.
+const maxDeltaBody = 8 << 20
+
+// handleCatalogDelta lands one mutation batch on the incremental engine and
+// publishes the repaired tree as a fresh snapshot. The engine is seeded
+// lazily from the boot instance (-in) on the first batch and owns the
+// catalog lineage from then on; validation failures reject the whole batch
+// with 400 and leave both the engine and the published snapshot untouched.
+func (s *server) handleCatalogDelta(w http.ResponseWriter, r *http.Request) {
+	if s.inst == nil {
+		http.Error(w, "octserve: no instance loaded (-in), nothing to mutate", http.StatusNotFound)
+		return
+	}
+	var req deltaRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDeltaBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "octserve: bad delta body: "+err.Error(), status)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		http.Error(w, "octserve: empty mutation batch", http.StatusBadRequest)
+		return
+	}
+
+	ctx := obs.WithRegistry(r.Context(), s.reg)
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+
+	if s.deltaEng == nil {
+		eng, err := delta.NewContext(ctx, s.inst, s.cfg, delta.DefaultOptions())
+		if err != nil {
+			http.Error(w, "octserve: seeding delta engine: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.deltaEng = eng
+	}
+
+	rep, err := s.deltaEng.Apply(ctx, req.Mutations)
+	if err != nil {
+		http.Error(w, "octserve: rejected batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	b, err := s.deltaEng.Rebuild(ctx)
+	if err != nil {
+		// The conflict state already moved; surface the build failure but
+		// keep the previous snapshot serving (publish never happened).
+		http.Error(w, "octserve: rebuild after batch: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Build-then-publish: the rebuilt tree is complete (covers stamped with
+	// engine-stable IDs) before the atomic snapshot swap; in-flight readers
+	// finish on the snapshot they loaded.
+	snap := s.pub.Publish(b.Result.Tree)
+
+	writeJSON(w, deltaView{
+		Version:    snap.Version,
+		Categories: b.Result.Tree.Len(),
+		Live:       s.deltaEng.Stats().Live,
+		Report:     rep,
+		Stats:      s.deltaEng.Stats(),
+		Edits:      b.Edits,
+	})
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"categorytree/internal/obs"
+	"categorytree/internal/tree"
+	"categorytree/internal/treediff"
+)
+
+func postJSON(t *testing.T, s *server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCatalogDeltaPublishesPatchedSnapshot(t *testing.T) {
+	s := testServer(t)
+	before := s.pub.Current().Version
+
+	rec := postJSON(t, s, "/catalog/delta",
+		`{"mutations":[{"op":"add","items":[0,1],"weight":3,"label":"tees"}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var view deltaView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Version != before+1 {
+		t.Fatalf("version = %d, want %d", view.Version, before+1)
+	}
+	if view.Live != 3 {
+		t.Fatalf("live = %d, want 3", view.Live)
+	}
+	// One mutation against a two-set catalog is 50% damage: the bounded-
+	// damage fallback reseeds instead of repairing (state is identical
+	// either way — the differential suite in internal/delta pins that).
+	if view.Report.Mutations != 1 || !view.Report.Reseeded {
+		t.Fatalf("report = %+v", view.Report)
+	}
+	if view.Edits != nil {
+		t.Fatal("first delta rebuild has no previous tree, edits must be null")
+	}
+	if got := s.pub.Current().Version; got != view.Version {
+		t.Fatalf("published version = %d, want %d", got, view.Version)
+	}
+	// The read path serves the patched tree: the published snapshot and the
+	// response agree on the category count.
+	got, err := tree.ReadJSON(get(t, s, "/api/tree").Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != view.Categories {
+		t.Fatalf("/api/tree has %d categories, response said %d", got.Len(), view.Categories)
+	}
+
+	// A second batch diffs against the first delta tree: the edit script is
+	// present, and replaying it onto a mirror of the previous tree yields
+	// the newly published one.
+	mirror := s.pub.Current().Tree.Clone()
+	rec = postJSON(t, s, "/catalog/delta",
+		`{"mutations":[{"op":"reweight","id":1,"weight":9},{"op":"remove","id":2}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("second batch: status %d: %s", rec.Code, rec.Body)
+	}
+	view = deltaView{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Version != before+2 || view.Live != 2 {
+		t.Fatalf("second batch view = %+v", view)
+	}
+	if view.Edits == nil {
+		t.Fatal("second delta rebuild must carry an edit script")
+	}
+	if err := treediff.Apply(mirror, view.Edits); err != nil {
+		t.Fatalf("replaying edit script on a mirror: %v", err)
+	}
+	if !treediff.Equal(mirror, s.pub.Current().Tree) {
+		t.Fatal("mirror patched with the edit script differs from the published tree")
+	}
+}
+
+func TestCatalogDeltaRejectsAtomically(t *testing.T) {
+	s := testServer(t)
+	version := s.pub.Current().Version
+
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"unknown target", `{"mutations":[{"op":"remove","id":99}]}`, 400},
+		{"unknown op", `{"mutations":[{"op":"rename","id":0}]}`, 400},
+		{"empty batch", `{"mutations":[]}`, 400},
+		{"bad json", `{"mutations":`, 400},
+		{"unknown field", `{"mutations":[],"mode":"force"}`, 400},
+	} {
+		rec := postJSON(t, s, "/catalog/delta", tc.body)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, rec.Code, tc.status, rec.Body)
+		}
+		if got := s.pub.Current().Version; got != version {
+			t.Fatalf("%s: rejected batch moved the snapshot to version %d", tc.name, got)
+		}
+	}
+
+	// A valid batch after all those rejections still lands cleanly.
+	rec := postJSON(t, s, "/catalog/delta", `{"mutations":[{"op":"reweight","id":0,"weight":5}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("valid batch after rejects: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestCatalogDeltaRequiresInstanceAndPost(t *testing.T) {
+	noInst, err := newServer(serverOptions{
+		Tree: tree.New(nil), Variant: "exact", Delta: 1,
+		Registry: obs.NewRegistry(), Logger: discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(noInst.Close)
+	if rec := postJSON(t, noInst, "/catalog/delta", `{"mutations":[{"op":"remove","id":0}]}`); rec.Code != 404 {
+		t.Fatalf("no instance: status %d", rec.Code)
+	}
+	// The route is POST-scoped; a GET falls through to the catch-all index
+	// handler, which NotFounds any path other than "/".
+	if rec := get(t, testServer(t), "/catalog/delta"); rec.Code != 404 {
+		t.Fatalf("GET: status %d", rec.Code)
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"categorytree/internal/delta"
 	"categorytree/internal/obs"
 	"categorytree/internal/obs/flight"
 	olog "categorytree/internal/obs/log"
@@ -85,6 +87,12 @@ type server struct {
 	// aborts in-flight builds mid-stage (their jobs end "canceled").
 	baseCtx context.Context
 	cancel  context.CancelFunc
+
+	// deltaMu serializes /catalog/delta writers around the lazily seeded
+	// incremental engine. Readers never touch it: each accepted batch ends
+	// in a normal build-then-publish snapshot swap.
+	deltaMu  sync.Mutex
+	deltaEng *delta.Engine
 }
 
 // newServer wires the handler. Metrics (per-endpoint request counters and
@@ -173,6 +181,7 @@ func newServer(opts serverOptions) (*server, error) {
 	build := s.instrument("build", s.handleBuild)
 	s.mux.HandleFunc("/build", build)
 	s.mux.HandleFunc("/api/build", build)
+	s.mux.HandleFunc("POST /catalog/delta", s.instrument("catalog_delta", s.handleCatalogDelta))
 	s.mux.HandleFunc("GET /builds/{id}", s.instrument("build_status", s.handleBuildStatus))
 	s.mux.HandleFunc("GET /builds/{id}/events", s.instrument("build_events", s.handleBuildEvents))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+// runSelf invokes the command the way a user would, via go run, and returns
+// its combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// writeInstance drops a small valid OCT instance file for the happy path.
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	inst := &oct.Instance{Universe: 6, Sets: []oct.InputSet{
+		{Items: intset.New(0, 1, 2), Weight: 2, Label: "shirts"},
+		{Items: intset.New(3, 4), Weight: 1, Label: "cameras"},
+		{Items: intset.New(0, 1), Weight: 1, Label: "tees"},
+	}}
+	path := filepath.Join(dir, "instance.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildsAndWritesTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	in := writeInstance(t, dir)
+	out := filepath.Join(dir, "tree.json")
+	got, err := runSelf(t, "-in", in, "-algo", "ctcr", "-variant", "exact", "-delta", "1", "-out", out)
+	if err != nil {
+		t.Fatalf("octtree failed: %v\n%s", err, got)
+	}
+	if !strings.Contains(got, "CTCR:") {
+		t.Fatalf("missing CTCR summary line:\n%s", got)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := tree.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("output tree does not parse: %v", err)
+	}
+	if tr.Len() < 2 {
+		t.Fatalf("tree has %d categories", tr.Len())
+	}
+}
+
+func TestBadFlagsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	in := writeInstance(t, dir)
+	for _, tc := range [][]string{
+		{"-in", filepath.Join(dir, "missing.json")}, // absent instance file
+		{"-in", in, "-algo", "nope"},                // unknown algorithm
+		{"-in", in, "-variant", "nope"},             // unknown variant
+		{"-no-such-flag"},                           // flag parse error
+	} {
+		out, err := runSelf(t, tc...)
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("octtree %v: want non-zero exit, got err=%v\n%s", tc, err, out)
+		}
+	}
+}

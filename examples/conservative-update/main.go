@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	ct "categorytree"
 	"categorytree/internal/catalog"
+	"categorytree/internal/delta"
 	"categorytree/internal/metrics"
 	"categorytree/internal/preprocess"
 	"categorytree/internal/queries"
@@ -29,9 +31,9 @@ func main() {
 	existing := cat.ExistingTree()
 	log90 := queries.Generate(cat, rng.Split(2), queries.DefaultGenOptions(300))
 
-	const delta = 0.8
-	cfg := ct.Config{Variant: ct.ThresholdJaccard, Delta: delta}
-	opts := preprocess.DefaultOptions(sim.ThresholdJaccard, delta)
+	const thresh = 0.8
+	cfg := ct.Config{Variant: ct.ThresholdJaccard, Delta: thresh}
+	opts := preprocess.DefaultOptions(sim.ThresholdJaccard, thresh)
 	base, _ := preprocess.Run(cat, existing, log90, opts)
 
 	fmt.Println("weight ratio (queries/existing) -> score contribution by source")
@@ -96,4 +98,31 @@ func main() {
 				target.Label, bestContained, before, ct.Score(res.Tree, inst, cfg))
 		}
 	}
+
+	// Day-2 churn goes through the delta engine (internal/delta): seed it
+	// once from the live instance, then absorb mutation batches and let
+	// Rebuild repair the tree, emitting a minimal edit script instead of a
+	// reload for downstream mirrors.
+	ctx := context.Background()
+	eng, err := delta.New(inst, cfg, delta.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Rebuild(ctx); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Apply(ctx, []delta.Mutation{
+		delta.Add(inst.Sets[0].Items.Union(inst.Sets[1].Items), 1.5, "bundle"),
+		delta.Reweight(0, inst.Sets[0].Weight*2),
+		delta.Remove(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := eng.Rebuild(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndelta batch: %d mutations touched %d/%d sets (%.1f%% damage), repaired in %d tree edits\n",
+		rep.Mutations, rep.Changed, eng.Stats().Live, rep.DamageFrac*100, b.Edits.Len())
 }

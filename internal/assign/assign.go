@@ -536,8 +536,22 @@ type move struct {
 
 type moveHeap []move
 
-func (h moveHeap) Len() int            { return len(h) }
-func (h moveHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h moveHeap) Len() int { return len(h) }
+func (h moveHeap) Less(i, j int) bool {
+	// Strict total order: the heap is seeded from a map iteration, so
+	// equal-gain moves must not pop in push order — that would make the
+	// whole assignment (and every downstream tree) vary run to run.
+	if h[i].gain > h[j].gain {
+		return true
+	}
+	if h[i].gain < h[j].gain {
+		return false
+	}
+	if h[i].item != h[j].item {
+		return h[i].item < h[j].item
+	}
+	return h[i].q < h[j].q
+}
 func (h moveHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *moveHeap) Push(x interface{}) { *h = append(*h, x.(move)) }
 func (h *moveHeap) Pop() interface{} {

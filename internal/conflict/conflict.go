@@ -61,6 +61,51 @@ type Result struct {
 	mustT map[uint64]struct{}
 }
 
+// NewResult assembles a Result from explicit conflict lists, deriving the
+// rank inverse, the per-set must-together lists, and the membership indexes
+// behind IsConflict2/MustCoverTogether. It is the constructor the delta
+// engine (internal/delta) uses to materialize its incrementally maintained
+// conflict state in the exact shape AnalyzeContext produces: Conflicts2
+// lower-ID-first and sorted, Conflicts3 sorted, MustT per set sorted by rank.
+// Inputs are copied where normalization requires it; mustPairs order does not
+// matter.
+func NewResult(ranking []oct.SetID, conflicts2 [][2]oct.SetID, conflicts3 [][3]oct.SetID, mustPairs [][2]oct.SetID) *Result {
+	n := len(ranking)
+	res := &Result{
+		Ranking: ranking,
+		RankOf:  make([]int, n),
+		MustT:   make([][]oct.SetID, n),
+		conf2:   make(map[uint64]struct{}, len(conflicts2)),
+		mustT:   make(map[uint64]struct{}, len(mustPairs)),
+	}
+	for i, id := range ranking {
+		res.RankOf[id] = i
+	}
+	for _, c := range conflicts2 {
+		if c[0] > c[1] {
+			c[0], c[1] = c[1], c[0]
+		}
+		res.Conflicts2 = append(res.Conflicts2, c)
+		res.conf2[pairKey(c[0], c[1])] = struct{}{}
+	}
+	sortPairs(res.Conflicts2)
+	for _, t := range conflicts3 {
+		res.Conflicts3 = append(res.Conflicts3, sortTriple(t[0], t[1], t[2]))
+	}
+	sortTriples(res.Conflicts3)
+	for _, m := range mustPairs {
+		res.mustT[pairKey(m[0], m[1])] = struct{}{}
+		res.MustT[m[0]] = append(res.MustT[m[0]], m[1])
+		res.MustT[m[1]] = append(res.MustT[m[1]], m[0])
+	}
+	for id := range res.MustT {
+		rank := res.RankOf
+		lst := res.MustT[id]
+		sort.Slice(lst, func(i, j int) bool { return rank[lst[i]] < rank[lst[j]] })
+	}
+	return res
+}
+
 func pairKey(a, b oct.SetID) uint64 {
 	if a > b {
 		a, b = b, a
@@ -488,16 +533,20 @@ func findTripleConflicts(ctx context.Context, res *Result, workers int) [][3]oct
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		if out[i][1] != out[j][1] {
-			return out[i][1] < out[j][1]
-		}
-		return out[i][2] < out[j][2]
-	})
+	sortTriples(out)
 	return out
+}
+
+func sortTriples(ts [][3]oct.SetID) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i][0] != ts[j][0] {
+			return ts[i][0] < ts[j][0]
+		}
+		if ts[i][1] != ts[j][1] {
+			return ts[i][1] < ts[j][1]
+		}
+		return ts[i][2] < ts[j][2]
+	})
 }
 
 func sortTriple(a, b, c oct.SetID) [3]oct.SetID {

@@ -154,52 +154,13 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 
 	// Stage 3 (lines 11-26): construct the tree.
 	csp, cctx := span.ChildContext(ctx, "construct")
-	res := &Result{
-		MIS:       misRes,
-		Conflicts: analysis,
+	res, err := Assemble(cctx, inst, cfg, analysis, misRes.Set, opts)
+	if err != nil {
+		csp.End()
+		span.End()
+		return nil, err
 	}
-	res.Selected = make([]oct.SetID, 0, len(misRes.Set))
-	for _, v := range misRes.Set {
-		res.Selected = append(res.Selected, oct.SetID(v))
-	}
-	rankOf := analysis.RankOf
-	sort.Slice(res.Selected, func(i, j int) bool {
-		return rankOf[res.Selected[i]] < rankOf[res.Selected[j]]
-	})
-
-	res.Tree, res.CatOf, res.Selected = construct(inst, cfg, analysis, res.Selected, !opts.DisableAdmission)
-
-	// Perfect-Recall and Exact never contest items under the standard
-	// bound of 1; with higher bounds, duplicates can exist and Algorithm 2
-	// must run (the varying-bounds extension of Section 3.3).
-	skipAssign := cfg.Variant.Base() == sim.BasePR && !hasBounds(cfg)
-	if !skipAssign {
-		if err := assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).RunContext(cctx); err != nil {
-			csp.End()
-			span.End()
-			return nil, fmt.Errorf("ctcr: %w", err)
-		}
-		if !opts.DisableIntermediates {
-			addIntermediateCategories(inst, res.Tree, res.CatOf, res.Selected)
-		}
-	}
-
-	if cfg.Variant != sim.Exact {
-		assign.CondenseContext(cctx, inst, cfg, res.Tree)
-		// Condensing may have removed dedicated categories; null their refs.
-		for q, c := range res.CatOf {
-			if c != nil && res.Tree.Node(c.ID) != c {
-				res.CatOf[q] = nil
-			}
-		}
-	} else {
-		for _, q := range res.Selected {
-			c := res.CatOf[q]
-			c.AppendCovers(q)
-		}
-	}
-
-	assign.AddMiscCategory(inst, res.Tree)
+	res.MIS = misRes
 	constructDur := csp.End()
 	obs.ReportProgress(ctx, "ctcr.build", buildStages, buildStages)
 	span.Counter("sets").Add(int64(inst.N()))
@@ -214,6 +175,70 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 		Construct: constructDur,
 		Total:     span.End(),
 	}
+	return res, nil
+}
+
+// Assemble runs the construction stage of CTCR (lines 11-26 of Algorithm 1)
+// on its own: given a conflict analysis and a solved independent set (vertex
+// indices into inst.Sets), it builds the tree, runs item assignment and
+// intermediate categories where the variant requires them, condenses, and
+// adds the misc category. BuildContext delegates its third stage here; the
+// delta engine (internal/delta) calls it directly after an incremental
+// conflict repair and per-component MIS solve, so a patched pipeline shares
+// every construction decision — and therefore every tie-break — with a
+// from-scratch build.
+//
+// Assemble reads only analysis.Ranking, analysis.RankOf, and the
+// analysis.MustT lists of the selected sets; callers maintaining conflict
+// state incrementally may hand in a thin Result with just those fields
+// populated (see conflict.NewResult for the full materialization).
+func Assemble(ctx context.Context, inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, misSet []int, opts Options) (*Result, error) {
+	sp, ctx := obs.StartSpanContext(ctx, "ctcr.assemble")
+	res := &Result{Conflicts: analysis}
+	res.Selected = make([]oct.SetID, 0, len(misSet))
+	for _, v := range misSet {
+		res.Selected = append(res.Selected, oct.SetID(v))
+	}
+	rankOf := analysis.RankOf
+	sort.Slice(res.Selected, func(i, j int) bool {
+		return rankOf[res.Selected[i]] < rankOf[res.Selected[j]]
+	})
+
+	res.Tree, res.CatOf, res.Selected = construct(inst, cfg, analysis, res.Selected, !opts.DisableAdmission)
+
+	// Perfect-Recall and Exact never contest items under the standard
+	// bound of 1; with higher bounds, duplicates can exist and Algorithm 2
+	// must run (the varying-bounds extension of Section 3.3).
+	skipAssign := cfg.Variant.Base() == sim.BasePR && !hasBounds(cfg)
+	if !skipAssign {
+		if err := assign.New(inst, cfg, res.Tree, res.CatOf, res.Selected).RunContext(ctx); err != nil {
+			sp.End()
+			return nil, fmt.Errorf("ctcr: %w", err)
+		}
+		if !opts.DisableIntermediates {
+			addIntermediateCategories(inst, res.Tree, res.CatOf, res.Selected)
+		}
+	}
+
+	if cfg.Variant != sim.Exact {
+		assign.CondenseContext(ctx, inst, cfg, res.Tree)
+		// Condensing may have removed dedicated categories; null their refs.
+		for q, c := range res.CatOf {
+			if c != nil && res.Tree.Node(c.ID) != c {
+				res.CatOf[q] = nil
+			}
+		}
+	} else {
+		for _, q := range res.Selected {
+			c := res.CatOf[q]
+			c.AppendCovers(q)
+		}
+	}
+
+	assign.AddMiscCategory(inst, res.Tree)
+	sp.Counter("selected").Add(int64(len(res.Selected)))
+	sp.Counter("categories").Add(int64(res.Tree.Len()))
+	sp.End()
 	return res, nil
 }
 
@@ -243,11 +268,19 @@ func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, se
 	// Categories in rank order so every candidate parent exists already.
 	for _, q := range selected {
 		parent := t.Root()
-		// Scan earlier-created (higher-placed) sets from nearest rank
-		// upward; the first must-cover-together partner is the parent.
-		for r := analysis.RankOf[q] - 1; r >= 0; r-- {
-			cand := analysis.Ranking[r]
-			if admitted[cand] && analysis.MustCoverTogether(q, cand) {
+		// The parent is the highest-placed admitted set q must share a
+		// branch with — i.e. among q's must-together partners ranked above
+		// q, the admitted one nearest in rank. MustT lists are sorted by
+		// rank, so the partners above q form a prefix; scanning it backwards
+		// visits candidates in exactly the order the defining rank sweep
+		// would, without touching the O(n) sets q has no must edge to.
+		partners := analysis.MustT[q]
+		qRank := analysis.RankOf[q]
+		above := sort.Search(len(partners), func(i int) bool {
+			return analysis.RankOf[partners[i]] >= qRank
+		})
+		for i := above - 1; i >= 0; i-- {
+			if cand := partners[i]; admitted[cand] {
 				parent = catOf[cand]
 				break
 			}
@@ -398,7 +431,28 @@ func (h pairHeap) Less(i, j int) bool {
 	if h[i].frac < h[j].frac {
 		return false
 	}
-	return h[i].weight > h[j].weight
+	if h[i].weight > h[j].weight {
+		return true
+	}
+	if h[i].weight < h[j].weight {
+		return false
+	}
+	// Strict total order on the node pair: candidates are pushed while
+	// iterating the active-children map, so without this, equally scored
+	// pairs would merge in a different order on every run.
+	il, ih := orderedIDs(h[i])
+	jl, jh := orderedIDs(h[j])
+	if il != jl {
+		return il < jl
+	}
+	return ih < jh
+}
+
+func orderedIDs(e pairEntry) (int, int) {
+	if e.a.ID < e.b.ID {
+		return e.a.ID, e.b.ID
+	}
+	return e.b.ID, e.a.ID
 }
 func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }

@@ -1,0 +1,139 @@
+package delta_test
+
+import (
+	"context"
+	"testing"
+
+	"categorytree/internal/conflict"
+	"categorytree/internal/delta"
+	"categorytree/internal/intset"
+	"categorytree/internal/invariant"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+)
+
+// decodeSeedInstance derives a small engine seed from fuzz bytes:
+// [nSets, universe, variant, deltaTenths, then 3 bytes per set
+// (maskHi, maskLo, weight)], mirroring the invariant fuzzers' decoder.
+func decodeSeedInstance(data []byte) (*oct.Instance, oct.Config, []byte, bool) {
+	if len(data) < 4 {
+		return nil, oct.Config{}, nil, false
+	}
+	n := 1 + int(data[0])%6
+	m := 4 + int(data[1])%9
+	cfg := oct.Config{
+		Variant: sim.Variant(int(data[2]) % 6),
+		Delta:   float64(1+int(data[3])%10) / 10,
+	}
+	rest := data[4:]
+	if len(rest) < 3*n {
+		return nil, oct.Config{}, nil, false
+	}
+	inst := &oct.Instance{Universe: m}
+	for i := 0; i < n; i++ {
+		items := maskItems(uint16(rest[3*i])<<8|uint16(rest[3*i+1]), m, int(rest[3*i]))
+		inst.Sets = append(inst.Sets, oct.InputSet{
+			Items:  intset.New(items...),
+			Weight: 1 + float64(rest[3*i+2]%50),
+		})
+	}
+	if inst.Validate() != nil || cfg.Validate() != nil {
+		return nil, oct.Config{}, nil, false
+	}
+	return inst, cfg, rest[3*n:], true
+}
+
+func maskItems(mask uint16, m, fallback int) []intset.Item {
+	var items []intset.Item
+	for b := 0; b < m; b++ {
+		if mask&(1<<b) != 0 {
+			items = append(items, intset.Item(b))
+		}
+	}
+	if len(items) == 0 {
+		items = append(items, intset.Item(fallback%m))
+	}
+	return items
+}
+
+// decodeMutation turns 3 fuzz bytes into one mutation. Invalid targets are
+// produced on purpose: Apply must reject them atomically.
+func decodeMutation(b [3]byte, universe int) delta.Mutation {
+	switch b[0] % 4 {
+	case 0, 1: // adds twice as likely: keeps catalogs from dying out
+		return delta.Mutation{
+			Op:     delta.OpAdd,
+			Items:  maskItems(uint16(b[1])<<8|uint16(b[2]), universe, int(b[1])),
+			Weight: float64(b[2] % 20),
+			Delta:  float64(b[1]%11) / 10,
+		}
+	case 2:
+		return delta.Remove(int(b[1]))
+	default:
+		m := delta.Reweight(int(b[1]), float64(b[2]%20))
+		m.Delta = float64(b[2]%11) / 10
+		return m
+	}
+}
+
+// FuzzDeltaApply drives the incremental engine with arbitrary mutation
+// streams decoded from fuzz bytes. After every accepted batch the maintained
+// conflict state must equal a from-scratch analysis; rejected batches must
+// leave the engine untouched; and the final rebuilt tree must satisfy the
+// Section 2 structural invariants.
+func FuzzDeltaApply(f *testing.F) {
+	for _, seed := range [][]byte{
+		// 3 sets, universe 8, exact; add + remove + reweight churn.
+		{2, 4, 5, 9, 0x00, 0xFF, 10, 0x00, 0x0F, 5, 0x00, 0x03, 3, 0, 0x1C, 7, 2, 1, 0, 3, 0, 9},
+		// 4 sets, universe 10, perfect-recall δ=0.6; deep remove chain.
+		{3, 6, 4, 6, 0x03, 0xFF, 20, 0x00, 0x1F, 9, 0x03, 0x00, 4, 0x00, 0x60, 7, 2, 0, 0, 2, 1, 0, 2, 2, 0},
+		// 6 sets, universe 12, cutoff-f1 δ=0.5; reweights incl. δ overrides.
+		{5, 8, 2, 4, 0x0F, 0xFF, 50, 0x0F, 0x0F, 30, 0x00, 0xF0, 20, 0x0C, 0x3C, 10, 0x03, 0xC0, 8, 0x00, 0xFF, 2, 3, 0, 13, 3, 4, 7},
+		// invalid targets: out-of-range remove and reweight must reject.
+		{1, 4, 0, 5, 0x00, 0x1F, 12, 2, 200, 0, 3, 250, 5},
+		// threshold-jaccard with adds only, growing past the seed size.
+		{2, 7, 1, 7, 0x00, 0xFF, 10, 0x00, 0x0F, 5, 0, 0x33, 9, 0, 0xC3, 4, 0, 0x3C, 6},
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, cfg, rest, ok := decodeSeedInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		ctx := context.Background()
+		e, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+		if err != nil {
+			t.Fatalf("NewContext on valid instance: %v", err)
+		}
+		for len(rest) >= 3 && e.Stats().Applies < 12 {
+			m := decodeMutation([3]byte{rest[0], rest[1], rest[2]}, inst.Universe)
+			rest = rest[3:]
+			before := e.ConflictResult()
+			if _, err := e.Apply(ctx, []delta.Mutation{m}); err != nil {
+				if !conflictStateEqual(before, e.ConflictResult()) {
+					t.Fatalf("rejected mutation %+v left the engine changed", m)
+				}
+				continue
+			}
+			compact, _ := e.Compact()
+			want, err := conflict.AnalyzeContext(ctx, compact, cfg, conflict.Options{})
+			if err != nil {
+				t.Fatalf("reference analyze: %v", err)
+			}
+			if !conflictStateEqual(e.ConflictResult(), want) {
+				t.Fatalf("conflict state diverged after %+v", m)
+			}
+		}
+		if e.Stats().Live == 0 {
+			return
+		}
+		b, err := e.Rebuild(ctx)
+		if err != nil {
+			t.Fatalf("Rebuild: %v", err)
+		}
+		if err := invariant.Check(b.Result.Tree, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

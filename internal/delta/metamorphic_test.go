@@ -1,0 +1,233 @@
+package delta_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"categorytree/internal/conflict"
+	"categorytree/internal/delta"
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/treediff"
+	"categorytree/internal/xrand"
+)
+
+// Metamorphic relations complement the differential harness: instead of
+// comparing against a from-scratch oracle, they compare the engine with
+// itself across algebraically equivalent mutation histories — add-then-
+// remove is the identity, reweight is invertible, batches over distinct
+// targets commute, and batching is associative.
+
+func conflictStateEqual(a, b *conflict.Result) bool {
+	return reflect.DeepEqual(a.Ranking, b.Ranking) &&
+		reflect.DeepEqual(a.Conflicts2, b.Conflicts2) &&
+		reflect.DeepEqual(a.Conflicts3, b.Conflicts3) &&
+		reflect.DeepEqual(a.MustT, b.MustT)
+}
+
+var metamorphicConfigs = []oct.Config{
+	{Variant: sim.Exact},
+	{Variant: sim.PerfectRecall, Delta: 0.8},
+	{Variant: sim.CutoffJaccard, Delta: 0.6},
+	{Variant: sim.ThresholdF1, Delta: 0.7},
+}
+
+// TestMetamorphicAddThenRemove: adding sets and removing exactly those sets
+// returns the conflict state to its pre-batch value (the surviving sets keep
+// their compact positions, so the results are comparable verbatim).
+func TestMetamorphicAddThenRemove(t *testing.T) {
+	ctx := context.Background()
+	for ci, cfg := range metamorphicConfigs {
+		rng := xrand.New(400 + int64(ci))
+		for trial := 0; trial < 15; trial++ {
+			universe := 12 + rng.Intn(10)
+			e, err := delta.NewContext(ctx, randomInstance(rng, 8+rng.Intn(10), universe), cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := e.ConflictResult()
+			slots := e.Stats().Slots
+			k := 1 + rng.Intn(3)
+			var adds, removes []delta.Mutation
+			for i := 0; i < k; i++ {
+				s := randomSet(rng, universe)
+				adds = append(adds, delta.Mutation{Op: delta.OpAdd, Items: s.Items.Slice(), Weight: s.Weight, Delta: s.Delta})
+				removes = append(removes, delta.Remove(slots+i))
+			}
+			if _, err := e.Apply(ctx, adds); err != nil {
+				t.Fatalf("cfg %d trial %d: adds: %v", ci, trial, err)
+			}
+			if _, err := e.Apply(ctx, removes); err != nil {
+				t.Fatalf("cfg %d trial %d: removes: %v", ci, trial, err)
+			}
+			if !conflictStateEqual(before, e.ConflictResult()) {
+				t.Fatalf("cfg %d trial %d: add-then-remove is not the identity", ci, trial)
+			}
+		}
+	}
+}
+
+// TestMetamorphicReweightRoundTrip: restoring original weights and δ
+// overrides restores the conflict state.
+func TestMetamorphicReweightRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	for ci, cfg := range metamorphicConfigs {
+		rng := xrand.New(500 + int64(ci))
+		for trial := 0; trial < 15; trial++ {
+			universe := 12 + rng.Intn(10)
+			e, err := delta.NewContext(ctx, randomInstance(rng, 8+rng.Intn(10), universe), cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := e.ConflictResult()
+			live := liveIDs(e)
+			perm := rng.Perm(len(live))
+			k := 1 + rng.Intn(3)
+			if k > len(live) {
+				k = len(live)
+			}
+			var forward, backward []delta.Mutation
+			for i := 0; i < k; i++ {
+				id := live[perm[i]]
+				orig, _ := e.Set(id)
+				forward = append(forward, delta.Mutation{Op: delta.OpReweight, ID: id, Weight: float64(rng.Intn(12)), Delta: 0.5 * rng.Float64()})
+				backward = append(backward, delta.Mutation{Op: delta.OpReweight, ID: id, Weight: orig.Weight, Delta: orig.Delta})
+			}
+			if _, err := e.Apply(ctx, forward); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Apply(ctx, backward); err != nil {
+				t.Fatal(err)
+			}
+			if !conflictStateEqual(before, e.ConflictResult()) {
+				t.Fatalf("cfg %d trial %d: reweight round trip is not the identity", ci, trial)
+			}
+		}
+	}
+}
+
+// TestMetamorphicBatchPermutation: a batch of removes and reweights over
+// distinct existing targets lands in the same state in any order, and the
+// rebuilt trees agree.
+func TestMetamorphicBatchPermutation(t *testing.T) {
+	ctx := context.Background()
+	for ci, cfg := range metamorphicConfigs {
+		rng := xrand.New(600 + int64(ci))
+		for trial := 0; trial < 10; trial++ {
+			universe := 12 + rng.Intn(10)
+			inst := randomInstance(rng, 10+rng.Intn(8), universe)
+			a, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := liveIDs(a)
+			perm := rng.Perm(len(live))
+			k := 2 + rng.Intn(3)
+			if k > len(live) {
+				k = len(live)
+			}
+			var batch []delta.Mutation
+			for i := 0; i < k; i++ {
+				id := live[perm[i]]
+				if rng.Bool(0.5) {
+					batch = append(batch, delta.Remove(id))
+				} else {
+					batch = append(batch, delta.Reweight(id, float64(rng.Intn(12))))
+				}
+			}
+			shuffled := append([]delta.Mutation(nil), batch...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if _, err := a.Apply(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Apply(ctx, shuffled); err != nil {
+				t.Fatal(err)
+			}
+			if !conflictStateEqual(a.ConflictResult(), b.ConflictResult()) {
+				t.Fatalf("cfg %d trial %d: permuted batch diverged", ci, trial)
+			}
+			ba, err := a.Rebuild(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, err := b.Rebuild(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !treediff.Equal(ba.Result.Tree, bb.Result.Tree) {
+				t.Fatalf("cfg %d trial %d: permuted batch trees diverged", ci, trial)
+			}
+		}
+	}
+}
+
+// TestMetamorphicBatchSplit: applying a batch at once equals applying its
+// mutations one at a time in order — including adds, whose stable IDs are
+// assigned by position either way.
+func TestMetamorphicBatchSplit(t *testing.T) {
+	ctx := context.Background()
+	for ci, cfg := range metamorphicConfigs {
+		rng := xrand.New(700 + int64(ci))
+		for trial := 0; trial < 10; trial++ {
+			universe := 12 + rng.Intn(10)
+			inst := randomInstance(rng, 8+rng.Intn(10), universe)
+			a, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := randBatch(rng, a, universe)
+			if _, err := a.Apply(ctx, batch); err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range batch {
+				if _, err := b.Apply(ctx, []delta.Mutation{m}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !conflictStateEqual(a.ConflictResult(), b.ConflictResult()) {
+				t.Fatalf("cfg %d trial %d: split batch diverged from atomic batch", ci, trial)
+			}
+		}
+	}
+}
+
+// TestApplyValidationAtomicity: a batch whose last mutation is invalid must
+// leave the engine exactly as it was.
+func TestApplyValidationAtomicity(t *testing.T) {
+	ctx := context.Background()
+	rng := xrand.New(42)
+	cfg := oct.Config{Variant: sim.CutoffJaccard, Delta: 0.6}
+	e, err := delta.NewContext(ctx, randomInstance(rng, 10, 15), cfg, delta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.ConflictResult()
+	bad := [][]delta.Mutation{
+		{delta.Remove(0), delta.Remove(0)},                                      // double remove
+		{delta.Reweight(0, 3), delta.Remove(999)},                               // unknown id
+		{delta.Mutation{Op: delta.OpAdd}},                                       // empty items
+		{delta.Mutation{Op: delta.OpAdd, Items: nil, Weight: -1}},               // negative weight
+		{delta.Mutation{Op: "rename", ID: 1}},                                   // unknown op
+		{delta.Remove(1), delta.Reweight(1, 2)},                                 // reweight after remove
+		{delta.Mutation{Op: delta.OpReweight, ID: 2, Delta: 1.5}},               // delta out of range
+		{delta.Mutation{Op: delta.OpAdd, Items: []intset.Item{999}, Weight: 1}}, // item outside universe
+	}
+	for i, muts := range bad {
+		if _, err := e.Apply(ctx, muts); err == nil {
+			t.Fatalf("bad batch %d applied without error", i)
+		}
+		if !conflictStateEqual(before, e.ConflictResult()) {
+			t.Fatalf("bad batch %d mutated the engine", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package delta
+
+import (
+	"fmt"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+)
+
+// Op names a mutation kind.
+type Op string
+
+const (
+	// OpAdd introduces a new input set; it receives the next stable ID.
+	OpAdd Op = "add"
+	// OpRemove tombstones an existing set. Its stable ID is never reused.
+	OpRemove Op = "remove"
+	// OpReweight changes the weight (and, for bounded variants, the delta
+	// override) of an existing set without touching its items.
+	OpReweight Op = "reweight"
+)
+
+// Mutation is one catalog change. Batches of mutations are applied
+// atomically by Engine.Apply: either the whole batch validates and lands, or
+// the engine is untouched.
+type Mutation struct {
+	Op Op `json:"op"`
+	// ID is the stable set ID targeted by remove/reweight; ignored for add.
+	ID int `json:"id,omitempty"`
+	// Items is the new set's contents (add only). Need not be sorted or
+	// deduplicated; the engine normalizes.
+	Items []intset.Item `json:"items,omitempty"`
+	// Weight is the set weight for add, and the new weight for reweight.
+	Weight float64 `json:"weight,omitempty"`
+	// Delta is a per-set threshold override in [0, 1]; zero means none.
+	Delta float64 `json:"delta,omitempty"`
+	// Label and Source annotate adds.
+	Label  string `json:"label,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// Add builds an add mutation.
+func Add(items []intset.Item, weight float64, label string) Mutation {
+	return Mutation{Op: OpAdd, Items: items, Weight: weight, Label: label}
+}
+
+// Remove builds a remove mutation for stable ID id.
+func Remove(id int) Mutation { return Mutation{Op: OpRemove, ID: id} }
+
+// Reweight builds a reweight mutation for stable ID id.
+func Reweight(id int, weight float64) Mutation {
+	return Mutation{Op: OpReweight, ID: id, Weight: weight}
+}
+
+// validateBatch checks the whole batch against current engine state before
+// anything is touched, simulating in-batch removals and additions. It
+// returns the normalized item sets for adds (indexed by their position in
+// muts) so Apply does not re-normalize.
+func (e *Engine) validateBatch(muts []Mutation) ([]intset.Set, error) {
+	normalized := make([]intset.Set, len(muts))
+	removed := make(map[int]bool)
+	nextID := len(e.sets)
+	for i, m := range muts {
+		switch m.Op {
+		case OpAdd:
+			s := intset.New(m.Items...)
+			if s.Empty() {
+				return nil, fmt.Errorf("delta: mutation %d: add with empty item set", i)
+			}
+			for _, it := range s.Slice() {
+				if it < 0 || int(it) >= e.universe {
+					return nil, fmt.Errorf("delta: mutation %d: item %d outside universe [0, %d)", i, it, e.universe)
+				}
+			}
+			if m.Weight < 0 {
+				return nil, fmt.Errorf("delta: mutation %d: negative weight %v", i, m.Weight)
+			}
+			if m.Delta < 0 || m.Delta > 1 {
+				return nil, fmt.Errorf("delta: mutation %d: delta %v outside [0, 1]", i, m.Delta)
+			}
+			normalized[i] = s
+			nextID++
+		case OpRemove:
+			if err := e.checkTarget(i, m.ID, nextID, removed); err != nil {
+				return nil, err
+			}
+			removed[m.ID] = true
+		case OpReweight:
+			if err := e.checkTarget(i, m.ID, nextID, removed); err != nil {
+				return nil, err
+			}
+			if m.Weight < 0 {
+				return nil, fmt.Errorf("delta: mutation %d: negative weight %v", i, m.Weight)
+			}
+			if m.Delta < 0 || m.Delta > 1 {
+				return nil, fmt.Errorf("delta: mutation %d: delta %v outside [0, 1]", i, m.Delta)
+			}
+		default:
+			return nil, fmt.Errorf("delta: mutation %d: unknown op %q", i, m.Op)
+		}
+	}
+	return normalized, nil
+}
+
+// checkTarget validates that id names a set that is live at this point of
+// the simulated batch. Sets added earlier in the same batch are addressable
+// (their IDs are assigned deterministically), which lets one batch add and
+// immediately reweight.
+func (e *Engine) checkTarget(i, id, nextID int, removed map[int]bool) error {
+	if id < 0 || id >= nextID {
+		return fmt.Errorf("delta: mutation %d: set %d does not exist", i, id)
+	}
+	if removed[id] {
+		return fmt.Errorf("delta: mutation %d: set %d already removed in this batch", i, id)
+	}
+	if id < len(e.sets) && !e.live[id] {
+		return fmt.Errorf("delta: mutation %d: set %d is not live", i, id)
+	}
+	return nil
+}
+
+// setOf returns a view of stable ID id as an oct.SetID for APIs that speak
+// instance IDs. The engine's instance view indexes Sets by stable ID.
+func setOf(id int32) oct.SetID { return oct.SetID(id) }

@@ -24,6 +24,7 @@ import (
 	"categorytree/internal/cluster"
 	"categorytree/internal/ctcr"
 	"categorytree/internal/dataset"
+	"categorytree/internal/delta"
 	"categorytree/internal/facet"
 	"categorytree/internal/intset"
 	"categorytree/internal/metrics"
@@ -705,11 +706,123 @@ func Scale(ctx context.Context, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// Churn ("churn") replays catalog update batches against the incremental
+// delta engine and times each Apply+Rebuild cycle against rebuilding the
+// mutated catalog from scratch, across churn rates of 0.1%, 0.5%, and 1%
+// of the live sets per batch. At paper scale (Scale 1: 50k sets) the 0.1%
+// row is the configuration the delta benchmarks gate at ≥10×.
+func Churn(ctx context.Context, opts Options) (*Result, error) {
+	n := int(50000 * opts.Scale)
+	if n < 1000 {
+		n = 1000
+	}
+	cfg := oct.Config{Variant: sim.Exact}
+	res := &Result{
+		ID:     "churn",
+		Title:  fmt.Sprintf("incremental delta engine vs from-scratch rebuild (%d synthetic sets)", n),
+		Header: []string{"churn", "batch", "delta med", "full rebuild", "speedup", "reseeds"},
+	}
+	const rounds = 5
+	for _, rate := range []float64{0.001, 0.005, 0.01} {
+		batch := int(float64(n) * rate)
+		if batch < 1 {
+			batch = 1
+		}
+		inst := SyntheticScale(opts.Seed, n)
+		eng, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("churn %.1f%%: %w", rate*100, err)
+		}
+		// The first Rebuild solves every component and seeds the MIS cache
+		// and previous tree: the steady state of an updating service.
+		if _, err := eng.Rebuild(ctx); err != nil {
+			return nil, fmt.Errorf("churn %.1f%%: warm rebuild: %w", rate*100, err)
+		}
+		rng := xrand.New(opts.Seed + 7)
+		times := make([]time.Duration, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			muts := churnBatch(rng, eng, batch, inst.Universe)
+			start := time.Now()
+			if _, err := eng.Apply(ctx, muts); err != nil {
+				return nil, fmt.Errorf("churn %.1f%%: apply: %w", rate*100, err)
+			}
+			if _, err := eng.Rebuild(ctx); err != nil {
+				return nil, fmt.Errorf("churn %.1f%%: rebuild: %w", rate*100, err)
+			}
+			times = append(times, time.Since(start))
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		med := times[len(times)/2]
+
+		compact, _ := eng.Compact()
+		start := time.Now()
+		if _, err := ctcr.BuildContext(ctx, compact, cfg, ctcr.DefaultOptions()); err != nil {
+			return nil, fmt.Errorf("churn %.1f%%: full rebuild: %w", rate*100, err)
+		}
+		full := time.Since(start)
+
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.1f%%", rate*100),
+			fmt.Sprint(batch),
+			med.Round(time.Millisecond).String(),
+			full.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", float64(full)/float64(med)),
+			fmt.Sprint(eng.Stats().Reseeds),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"delta med times one Apply+Rebuild cycle (median of 5 batches) on a warm engine; full rebuild is ctcr.Build on the equivalent mutated catalog",
+		"BenchmarkDeltaUpdate / BenchmarkDeltaVsRebuild in internal/delta pin the 0.1% row under the bench gate")
+	return res, nil
+}
+
+// churnBatch builds one update batch of the given size: ~40% reweights,
+// ~30% removes, ~30% adds, with added sets drawn from the same per-group
+// item pools SyntheticScale uses so the catalog keeps its shape.
+func churnBatch(rng *xrand.RNG, eng *delta.Engine, batch, universe int) []delta.Mutation {
+	const poolSize = 12
+	slots := eng.Stats().Slots
+	muts := make([]delta.Mutation, 0, batch)
+	used := make(map[int]bool, batch)
+	target := func() (int, bool) {
+		for tries := 0; tries < 64; tries++ {
+			id := rng.Intn(slots)
+			if eng.Live(id) && !used[id] {
+				used[id] = true
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	for len(muts) < batch {
+		switch r := rng.Float64(); {
+		case r < 0.3:
+			base := rng.Intn(universe/poolSize) * poolSize
+			size := 2 + rng.Intn(4)
+			items := make([]intset.Item, size)
+			for i, v := range rng.SampleK(poolSize, size) {
+				items[i] = intset.Item(base + v)
+			}
+			muts = append(muts, delta.Mutation{Op: delta.OpAdd, Items: items, Weight: 1 + rng.Float64()*9})
+		case r < 0.6:
+			if id, ok := target(); ok {
+				muts = append(muts, delta.Remove(id))
+			}
+		default:
+			if id, ok := target(); ok {
+				muts = append(muts, delta.Reweight(id, 1+rng.Float64()*9))
+			}
+		}
+	}
+	return muts
+}
+
 // Registry maps experiment IDs to drivers. Drivers take a context so
 // callers can scope metrics (obs.WithRegistry), capture traces
 // (trace.WithRecorder), or cancel long sweeps.
 var Registry = map[string]func(context.Context, Options) (*Result, error){
 	"ablation":  Ablation,
+	"churn":     Churn,
 	"facet":     Facet,
 	"fig8a":     Fig8a,
 	"fig8b":     Fig8b,

@@ -15,7 +15,7 @@ func tinyOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "merge", "scale", "serve", "table1", "traintest"}
+	want := []string{"ablation", "churn", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "merge", "scale", "serve", "table1", "traintest"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -147,6 +147,24 @@ func TestMergeAblationRuns(t *testing.T) {
 	}
 	if len(res.Rows) != 2 {
 		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestChurnRuns(t *testing.T) {
+	res, err := Churn(context.Background(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want one row per churn rate, got %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if len(r) != len(res.Header) {
+			t.Fatalf("row %v does not match header %v", r, res.Header)
+		}
+		if !strings.HasSuffix(r[4], "x") {
+			t.Fatalf("speedup column %q not a ratio", r[4])
+		}
 	}
 }
 

@@ -76,6 +76,14 @@ func (n *Node) SetLabel(label string) { n.Label = label }
 //oct:ctor
 func (n *Node) AppendCovers(ids ...oct.SetID) { n.Covers = append(n.Covers, ids...) }
 
+// SetCovers replaces the category's cover annotation. Build-phase only: the
+// delta engine rewrites covers from per-rebuild dense IDs to its stable set
+// IDs before diffing, and the edit-script applier restores them on patched
+// clones.
+//
+//oct:ctor
+func (n *Node) SetCovers(ids []oct.SetID) { n.Covers = ids }
+
 // Tree is a category tree. The zero value is not usable; construct with New.
 //
 // A Tree is built single-threaded through the //oct:ctor methods below and
@@ -130,13 +138,39 @@ func (t *Tree) AddCategory(parent *Node, items intset.Set, label string) *Node {
 }
 
 // AddItems inserts items into n and every ancestor of n, preserving the
-// union invariant.
+// union invariant. The walk stops at the first node that already contains
+// every item: under the union invariant the remaining ancestors are
+// supersets of that node, so they contain the items too. Near the root —
+// where category construction lands most of its calls once the item pool
+// has accumulated — this replaces an O(|root|) copy per level with a few
+// binary probes.
 //
 //oct:ctor
 func (t *Tree) AddItems(n *Node, items intset.Set) {
 	for cur := n; cur != nil; cur = cur.parent {
+		if containsAll(cur.Items, items) {
+			return
+		}
 		cur.Items = cur.Items.Union(items)
 	}
+}
+
+// containsAll reports items ⊆ s, probing per item for small inputs (the
+// construct hot path adds catalog sets of a handful of items) and merge-
+// scanning otherwise.
+func containsAll(s, items intset.Set) bool {
+	if len(items) > len(s) {
+		return false
+	}
+	if len(items) <= 8 {
+		for _, v := range items {
+			if !s.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	return items.SubsetOf(s)
 }
 
 // RemoveItems deletes items from n and every descendant of n. Ancestors are
@@ -187,6 +221,57 @@ func (t *Tree) RemoveCategory(n *Node) {
 	}
 	n.children = nil
 	delete(t.nodes, n.ID)
+}
+
+// Graft moves n (with its whole subtree) under newParent without touching
+// any item set — unlike Reparent, which restores the union invariant along
+// the new ancestor chain. It is the raw primitive treediff's edit-script
+// applier uses: scripts carry the exact final item set of every changed
+// category, so invariant repair during intermediate states would only
+// corrupt untouched ancestors. It panics on attempts to move the root, to
+// create a cycle, or to graft across trees.
+//
+//oct:ctor
+func (t *Tree) Graft(n, newParent *Node) {
+	if n == t.root {
+		panic("tree: cannot graft the root")
+	}
+	if t.nodes[n.ID] != n || t.nodes[newParent.ID] != newParent {
+		panic("tree: Graft with foreign node")
+	}
+	for p := newParent; p != nil; p = p.parent {
+		if p == n {
+			panic("tree: Graft would create a cycle")
+		}
+	}
+	t.detach(n)
+	n.parent = newParent
+	newParent.children = append(newParent.children, n)
+}
+
+// Clone returns a structurally independent deep copy of the tree: fresh Node
+// structs with the same IDs, labels, parent/child wiring, and nextID
+// allocation point. Item sets and cover slices are shared with the original —
+// both are replaced wholesale (never mutated in place) by every build-phase
+// setter, so a clone may be reshaped freely while the original stays frozen.
+// This is how a consumer applies a treediff edit script to a published
+// (immutable) snapshot tree: clone, patch the clone, publish the clone.
+//
+//oct:ctor
+func (t *Tree) Clone() *Tree {
+	ct := &Tree{nextID: t.nextID, nodes: make(map[int]*Node, len(t.nodes))}
+	var rec func(n *Node, parent *Node) *Node
+	rec = func(n, parent *Node) *Node {
+		cn := &Node{ID: n.ID, Items: n.Items, Label: n.Label, Covers: n.Covers, parent: parent}
+		ct.nodes[cn.ID] = cn
+		cn.children = make([]*Node, len(n.children))
+		for i, c := range n.children {
+			cn.children[i] = rec(c, cn)
+		}
+		return cn
+	}
+	ct.root = rec(t.root, nil)
+	return ct
 }
 
 //oct:ctor

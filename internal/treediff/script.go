@@ -1,0 +1,338 @@
+package treediff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+)
+
+// This file implements minimal edit scripts between two category trees: the
+// delta-maintenance counterpart of the similarity Report in treediff.go.
+// Where Diff answers "what changed, roughly, for a human reviewer", Script
+// answers "which exact operations turn the old tree into the new one", so a
+// consumer holding the old tree (e.g. a serving replica with a published
+// snapshot) can Clone it and Apply the script instead of reloading the whole
+// tree.
+//
+// Nodes are matched across the two trees by a caller-supplied stable key
+// (by default the smallest Covers entry, which internal/delta stamps with
+// engine-stable set IDs). Unkeyed nodes are never matched: they are removed
+// and re-added, which keeps the script correct — just not minimal — for
+// trees whose variants do not annotate covers.
+//
+// A script addresses nodes by Ref: values >= 0 are node IDs in the tree
+// being patched, values < 0 are nodes created by the script's own Adds list
+// (entry k has ref -(k+1)). Apply performs removals first, then additions in
+// new-tree preorder, then grafts in new-tree preorder (so a node's final
+// ancestor chain is already in place when it moves, making cycles
+// impossible), and finally field updates carrying the exact final item sets
+// — which is why it uses the raw tree.Graft rather than the
+// invariant-repairing Reparent.
+
+// Ref addresses a node within an edit script: node ID when >= 0, added node
+// -(k+1) for Adds[k] when < 0.
+type Ref int64
+
+// AddOp creates a category under Parent with the given contents.
+type AddOp struct {
+	Parent Ref         `json:"parent"`
+	Items  intset.Set  `json:"items,omitempty"`
+	Label  string      `json:"label,omitempty"`
+	Covers []oct.SetID `json:"covers,omitempty"`
+}
+
+// GraftOp moves a surviving category (and its subtree) under a new parent.
+type GraftOp struct {
+	Node   Ref `json:"node"`
+	Parent Ref `json:"parent"`
+}
+
+// SetOp updates fields of a surviving category. Only fields with their Set*
+// flag raised are touched, so "no change" and "change to the zero value" are
+// distinguishable.
+type SetOp struct {
+	Node      Ref         `json:"node"`
+	SetItems  bool        `json:"setItems,omitempty"`
+	Items     intset.Set  `json:"items,omitempty"`
+	SetLabel  bool        `json:"setLabel,omitempty"`
+	Label     string      `json:"label,omitempty"`
+	SetCovers bool        `json:"setCovers,omitempty"`
+	Covers    []oct.SetID `json:"covers,omitempty"`
+}
+
+// EditScript is an ordered patch turning one tree into another.
+type EditScript struct {
+	// Removes lists node IDs to delete, in old-tree preorder. Children of a
+	// removed node are spliced onto its parent; survivors among them are
+	// re-placed by Grafts.
+	Removes []int `json:"removes,omitempty"`
+	// Adds lists new categories in new-tree preorder, so every Parent ref
+	// resolves by the time it is needed.
+	Adds []AddOp `json:"adds,omitempty"`
+	// Grafts re-parents surviving categories, in new-tree preorder.
+	Grafts []GraftOp `json:"grafts,omitempty"`
+	// Sets updates items/labels/covers of surviving categories.
+	Sets []SetOp `json:"sets,omitempty"`
+}
+
+// Empty reports whether the script is a no-op.
+func (s *EditScript) Empty() bool {
+	return len(s.Removes) == 0 && len(s.Adds) == 0 && len(s.Grafts) == 0 && len(s.Sets) == 0
+}
+
+// Len returns the total operation count, the "size" of a patch.
+func (s *EditScript) Len() int {
+	return len(s.Removes) + len(s.Adds) + len(s.Grafts) + len(s.Sets)
+}
+
+// MinCoverKey is the default node key: the smallest Covers entry. Nodes with
+// no covers (roots, intermediates, misc) have no key.
+func MinCoverKey(n *tree.Node) (int64, bool) {
+	if len(n.Covers) == 0 {
+		return 0, false
+	}
+	min := n.Covers[0]
+	for _, c := range n.Covers[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return int64(min), true
+}
+
+// Script computes the edit script turning oldT into newT, matching nodes by
+// keyOf (MinCoverKey when nil). Roots always match each other. It fails when
+// a key repeats within one tree: keys must identify nodes.
+func Script(oldT, newT *tree.Tree, keyOf func(*tree.Node) (int64, bool)) (*EditScript, error) {
+	if keyOf == nil {
+		keyOf = MinCoverKey
+	}
+	oldByKey, err := keyIndex(oldT, keyOf)
+	if err != nil {
+		return nil, fmt.Errorf("treediff: old tree: %w", err)
+	}
+	newByKey, err := keyIndex(newT, keyOf)
+	if err != nil {
+		return nil, fmt.Errorf("treediff: new tree: %w", err)
+	}
+
+	// oldOf maps a surviving new node to its old counterpart.
+	oldOf := make(map[*tree.Node]*tree.Node)
+	oldOf[newT.Root()] = oldT.Root()
+	for key, n := range newByKey {
+		if o, ok := oldByKey[key]; ok {
+			oldOf[n] = o
+		}
+	}
+	matchedOld := make(map[*tree.Node]bool, len(oldOf))
+	for _, o := range oldOf {
+		matchedOld[o] = true
+	}
+
+	s := &EditScript{}
+	oldT.Walk(func(o *tree.Node) {
+		if o != oldT.Root() && !matchedOld[o] {
+			s.Removes = append(s.Removes, o.ID)
+		}
+	})
+
+	// refOf assigns every new node its script address: survivors keep their
+	// old node ID, additions get -(k+1) in preorder.
+	refOf := make(map[*tree.Node]Ref, newT.Len())
+	newT.Walk(func(n *tree.Node) {
+		if o, ok := oldOf[n]; ok {
+			refOf[n] = Ref(o.ID)
+			return
+		}
+		refOf[n] = Ref(-(len(s.Adds) + 1))
+		s.Adds = append(s.Adds, AddOp{
+			Parent: refOf[n.Parent()],
+			Items:  n.Items,
+			Label:  n.Label,
+			Covers: n.Covers,
+		})
+	})
+
+	newT.Walk(func(n *tree.Node) {
+		o, ok := oldOf[n]
+		if !ok || n == newT.Root() {
+			return
+		}
+		if want := refOf[n.Parent()]; want != Ref(o.Parent().ID) {
+			s.Grafts = append(s.Grafts, GraftOp{Node: Ref(o.ID), Parent: want})
+		}
+		op := SetOp{Node: Ref(o.ID)}
+		fillSetOp(&op, o, n)
+		if op.SetItems || op.SetLabel || op.SetCovers {
+			s.Sets = append(s.Sets, op)
+		}
+	})
+	// Root fields can change too (e.g. the universe grows).
+	rootOp := SetOp{Node: Ref(oldT.Root().ID)}
+	fillSetOp(&rootOp, oldT.Root(), newT.Root())
+	if rootOp.SetItems || rootOp.SetLabel || rootOp.SetCovers {
+		s.Sets = append(s.Sets, rootOp)
+	}
+	return s, nil
+}
+
+func fillSetOp(op *SetOp, o, n *tree.Node) {
+	if !o.Items.Equal(n.Items) {
+		op.SetItems, op.Items = true, n.Items
+	}
+	if o.Label != n.Label {
+		op.SetLabel, op.Label = true, n.Label
+	}
+	if !coversEqual(o.Covers, n.Covers) {
+		op.SetCovers, op.Covers = true, n.Covers
+	}
+}
+
+func coversEqual(a, b []oct.SetID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func keyIndex(t *tree.Tree, keyOf func(*tree.Node) (int64, bool)) (map[int64]*tree.Node, error) {
+	idx := make(map[int64]*tree.Node)
+	var err error
+	t.Walk(func(n *tree.Node) {
+		if err != nil || n == t.Root() {
+			return
+		}
+		key, ok := keyOf(n)
+		if !ok {
+			return
+		}
+		if prev, dup := idx[key]; dup {
+			err = fmt.Errorf("key %d on both node %d and node %d", key, prev.ID, n.ID)
+			return
+		}
+		idx[key] = n
+	})
+	return idx, err
+}
+
+// Apply patches t in place with the script. t is typically a Clone of a
+// published snapshot tree; on error the tree may be partially patched and
+// must be discarded. Apply performs no invariant repair — scripts carry
+// exact final item sets — so a script produced by Script from a valid tree
+// leaves t equal (in the Equal sense) to that script's new tree.
+func Apply(t *tree.Tree, s *EditScript) error {
+	for _, id := range s.Removes {
+		n := t.Node(id)
+		if n == nil {
+			return fmt.Errorf("treediff: remove of unknown node %d", id)
+		}
+		if n == t.Root() {
+			return fmt.Errorf("treediff: script removes the root")
+		}
+		t.RemoveCategory(n)
+	}
+	added := make([]*tree.Node, 0, len(s.Adds))
+	resolve := func(r Ref) (*tree.Node, error) {
+		if r >= 0 {
+			n := t.Node(int(r))
+			if n == nil {
+				return nil, fmt.Errorf("treediff: ref to unknown node %d", r)
+			}
+			return n, nil
+		}
+		k := int(-r) - 1
+		if k >= len(added) {
+			return nil, fmt.Errorf("treediff: ref to not-yet-added node %d", r)
+		}
+		return added[k], nil
+	}
+	for _, op := range s.Adds {
+		parent, err := resolve(op.Parent)
+		if err != nil {
+			return err
+		}
+		n := t.AddCategory(parent, op.Items, op.Label)
+		if len(op.Covers) > 0 {
+			n.SetCovers(op.Covers)
+		}
+		added = append(added, n)
+	}
+	for _, op := range s.Grafts {
+		n, err := resolve(op.Node)
+		if err != nil {
+			return err
+		}
+		parent, err := resolve(op.Parent)
+		if err != nil {
+			return err
+		}
+		if n == t.Root() {
+			return fmt.Errorf("treediff: script grafts the root")
+		}
+		t.Graft(n, parent)
+	}
+	for _, op := range s.Sets {
+		n, err := resolve(op.Node)
+		if err != nil {
+			return err
+		}
+		if op.SetItems {
+			n.SetItems(op.Items)
+		}
+		if op.SetLabel {
+			n.SetLabel(op.Label)
+		}
+		if op.SetCovers {
+			n.SetCovers(op.Covers)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two trees are identical up to node IDs and sibling
+// order: same shape, and the same items, label, and cover set at every
+// corresponding node. This is the equality the delta differential harness
+// asserts — node IDs are allocation accidents and sibling order is
+// insertion-order noise, neither observable through scoring or rendering of
+// sorted trees.
+func Equal(a, b *tree.Tree) bool {
+	return canonical(a.Root()) == canonical(b.Root())
+}
+
+// canonical serializes a subtree into a form invariant under node IDs and
+// child order.
+func canonical(n *tree.Node) string {
+	var sb strings.Builder
+	writeCanonical(&sb, n)
+	return sb.String()
+}
+
+func writeCanonical(sb *strings.Builder, n *tree.Node) {
+	sb.WriteString("{i:")
+	sb.WriteString(n.Items.String())
+	sb.WriteString(";l:")
+	sb.WriteString(n.Label)
+	sb.WriteString(";c:")
+	covers := append([]oct.SetID(nil), n.Covers...)
+	sort.Slice(covers, func(i, j int) bool { return covers[i] < covers[j] })
+	fmt.Fprintf(sb, "%v", covers)
+	kids := make([]string, 0, len(n.Children()))
+	for _, c := range n.Children() {
+		kids = append(kids, canonical(c))
+	}
+	sort.Strings(kids)
+	for _, k := range kids {
+		sb.WriteString(";")
+		sb.WriteString(k)
+	}
+	sb.WriteString("}")
+}

@@ -1,0 +1,197 @@
+package treediff
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+	"categorytree/internal/tree"
+	"categorytree/internal/xrand"
+)
+
+// randKeyedTree builds a random tree whose non-root nodes carry unique
+// single-entry Covers drawn from keys, so Script can match them.
+func randKeyedTree(rng *xrand.RNG, keys []int, universe int) *tree.Tree {
+	t := tree.New(intset.Range(0, intset.Item(universe)))
+	nodes := []*tree.Node{t.Root()}
+	for _, k := range keys {
+		parent := nodes[rng.Intn(len(nodes))]
+		size := 1 + rng.Intn(5)
+		idx := rng.SampleK(universe, size)
+		items := make([]intset.Item, size)
+		for i, v := range idx {
+			items[i] = intset.Item(v)
+		}
+		n := t.AddCategory(parent, intset.New(items...), "")
+		n.SetLabel(labelFor(rng))
+		n.AppendCovers(oct.SetID(k))
+		nodes = append(nodes, n)
+	}
+	return t
+}
+
+func labelFor(rng *xrand.RNG) string {
+	labels := []string{"shoes", "boots", "sandals", "bags", "", "misc"}
+	return labels[rng.Intn(len(labels))]
+}
+
+// TestScriptApplyRoundTrip is the core contract: for random old/new tree
+// pairs with overlapping key populations, applying the script to a clone of
+// the old tree reproduces the new tree exactly.
+func TestScriptApplyRoundTrip(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 200; trial++ {
+		nOld := 1 + rng.Intn(25)
+		nNew := 1 + rng.Intn(25)
+		oldKeys := rng.Perm(40)[:nOld]
+		newKeys := rng.Perm(40)[:nNew]
+		oldT := randKeyedTree(rng, oldKeys, 30)
+		newT := randKeyedTree(rng, newKeys, 30)
+
+		s, err := Script(oldT, newT, nil)
+		if err != nil {
+			t.Fatalf("trial %d: Script: %v", trial, err)
+		}
+		patched := oldT.Clone()
+		if err := Apply(patched, s); err != nil {
+			t.Fatalf("trial %d: Apply: %v", trial, err)
+		}
+		if !Equal(patched, newT) {
+			t.Fatalf("trial %d: patched tree differs from new tree\nscript: %+v", trial, s)
+		}
+		// The original must be untouched — consumers patch clones of
+		// published snapshots.
+		reOld := randKeyedTreeCanonicalCheck(oldT)
+		if !reOld {
+			t.Fatalf("trial %d: Apply mutated the original tree through the clone", trial)
+		}
+	}
+}
+
+// randKeyedTreeCanonicalCheck validates structural sanity of a tree that
+// should not have been touched: every node reachable from the root is still
+// registered under its ID.
+func randKeyedTreeCanonicalCheck(t *tree.Tree) bool {
+	ok := true
+	t.Walk(func(n *tree.Node) {
+		if t.Node(n.ID) != n {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// TestScriptIdentity: identical trees produce an empty script.
+func TestScriptIdentity(t *testing.T) {
+	rng := xrand.New(5)
+	old := randKeyedTree(rng, []int{3, 7, 1, 9, 4}, 20)
+	s, err := Script(old, old.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Fatalf("script between identical trees is not empty: %+v", s)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d on empty script", s.Len())
+	}
+}
+
+// TestScriptJSONRoundTrip: a script survives serialization and still patches
+// correctly — the wire format POST /catalog/delta returns.
+func TestScriptJSONRoundTrip(t *testing.T) {
+	rng := xrand.New(17)
+	oldT := randKeyedTree(rng, []int{1, 2, 3, 4, 5, 6}, 25)
+	newT := randKeyedTree(rng, []int{4, 5, 6, 7, 8}, 25)
+	s, err := Script(oldT, newT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var decoded EditScript
+	if err := json.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	patched := oldT.Clone()
+	if err := Apply(patched, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(patched, newT) {
+		t.Fatal("patched tree from decoded script differs from new tree")
+	}
+}
+
+// TestScriptDuplicateKey: a key appearing twice in one tree is an error, not
+// a silent mismatch.
+func TestScriptDuplicateKey(t *testing.T) {
+	old := tree.New(intset.New(0, 1, 2))
+	a := old.AddCategory(nil, intset.New(0), "a")
+	a.AppendCovers(1)
+	b := old.AddCategory(nil, intset.New(1), "b")
+	b.AppendCovers(1)
+	if _, err := Script(old, old.Clone(), nil); err == nil {
+		t.Fatal("duplicate key did not error")
+	}
+}
+
+// TestApplyRejectsBadRefs: scripts referencing unknown nodes fail cleanly.
+func TestApplyRejectsBadRefs(t *testing.T) {
+	tr := tree.New(intset.New(0, 1))
+	for _, s := range []*EditScript{
+		{Removes: []int{99}},
+		{Removes: []int{0}},
+		{Adds: []AddOp{{Parent: 42}}},
+		{Adds: []AddOp{{Parent: -5}}},
+		{Grafts: []GraftOp{{Node: 7, Parent: 0}}},
+		{Sets: []SetOp{{Node: 12, SetLabel: true, Label: "x"}}},
+	} {
+		if err := Apply(tr.Clone(), s); err == nil {
+			t.Errorf("script %+v applied without error", s)
+		}
+	}
+}
+
+// TestEqualDistinguishes: Equal must see item, label, cover, and shape
+// differences, and must ignore node IDs and sibling order.
+func TestEqualDistinguishes(t *testing.T) {
+	base := func() *tree.Tree {
+		tr := tree.New(intset.New(0, 1, 2, 3))
+		a := tr.AddCategory(nil, intset.New(0, 1), "a")
+		a.AppendCovers(1)
+		b := tr.AddCategory(nil, intset.New(2), "b")
+		b.AppendCovers(2)
+		return tr
+	}
+	if !Equal(base(), base()) {
+		t.Fatal("identical trees not Equal")
+	}
+
+	// Sibling order must not matter.
+	flipped := tree.New(intset.New(0, 1, 2, 3))
+	b := flipped.AddCategory(nil, intset.New(2), "b")
+	b.AppendCovers(2)
+	a := flipped.AddCategory(nil, intset.New(0, 1), "a")
+	a.AppendCovers(1)
+	if !Equal(base(), flipped) {
+		t.Fatal("sibling order changed Equal")
+	}
+
+	mutants := []func(tr *tree.Tree){
+		func(tr *tree.Tree) { tr.Root().Children()[0].SetLabel("z") },
+		func(tr *tree.Tree) { tr.Root().Children()[0].SetItems(intset.New(0)) },
+		func(tr *tree.Tree) { tr.Root().Children()[0].AppendCovers(9) },
+		func(tr *tree.Tree) { tr.AddCategory(nil, intset.New(3), "c") },
+	}
+	for i, mutate := range mutants {
+		m := base()
+		mutate(m)
+		if Equal(base(), m) {
+			t.Errorf("mutant %d not distinguished", i)
+		}
+	}
+}
