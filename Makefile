@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fmt fuzz bench bench-baseline bench-gate scale-smoke flight-dump
+.PHONY: all build test race lint fmt fuzz bench bench-baseline bench-gate scale-smoke flight-dump explain-smoke
 
 all: build lint test
 
@@ -66,6 +66,23 @@ bench-gate:
 FLIGHT_OUT ?= flight-dump
 flight-dump:
 	$(GO) run ./cmd/flightdump -out $(FLIGHT_OUT)
+
+# End-to-end provenance smoke: generate a small instance, record a delta
+# build's ledger alongside a from-scratch reference of the same final
+# catalog, render the delta trace, and diff the two ledgers. Exercises the
+# whole explain stack (recorder → seal → JSON → trace/diff) the way a
+# developer would when asking why a build did what it did. CI runs this on
+# failure and uploads EXPLAIN_OUT as an artifact.
+EXPLAIN_OUT ?= explain-smoke
+explain-smoke:
+	mkdir -p $(EXPLAIN_OUT)
+	$(GO) run ./cmd/octgen -scale 0.002 -out $(EXPLAIN_OUT)/instance.json
+	printf '%s' '{"batches":[[{"op":"add","items":[1,2,3,4,5,6],"weight":30,"label":"smoke-add"},{"op":"reweight","id":4,"weight":200}],[{"op":"remove","id":9},{"op":"add","items":[20,21,22,23],"weight":12,"label":"smoke-add-2"}]]}' > $(EXPLAIN_OUT)/muts.json
+	$(GO) run ./cmd/octexplain build -in $(EXPLAIN_OUT)/instance.json \
+		-mutations $(EXPLAIN_OUT)/muts.json \
+		-o $(EXPLAIN_OUT)/delta.json -reference-out $(EXPLAIN_OUT)/full.json
+	$(GO) run ./cmd/octexplain trace $(EXPLAIN_OUT)/delta.json > $(EXPLAIN_OUT)/trace.txt
+	$(GO) run ./cmd/octexplain diff $(EXPLAIN_OUT)/full.json $(EXPLAIN_OUT)/delta.json | tee $(EXPLAIN_OUT)/diff.txt
 
 # The past-the-ceiling CCT run: a 50k-set synthetic build through the
 # scaled clustering strategies plus their micro-benchmarks. SCALEFLAGS=-short

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// runSelf invokes the command the way CI does, via go run, and returns its
+// combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestExecWritesBundle exercises the real process the CI failure path
+// spawns — flag parsing and exit code included, not just run() in-process.
+func TestExecWritesBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	out := filepath.Join(t.TempDir(), "bundle")
+	output, err := runSelf(t, "-out", out, "-requests", "200", "-workers", "2")
+	if err != nil {
+		t.Fatalf("flightdump failed: %v\n%s", err, output)
+	}
+	for _, name := range []string{"requests.json", "slo.json", "traces.json", "metrics.prom", "goroutine.txt"} {
+		fi, err := os.Stat(filepath.Join(out, name))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", name, err)
+		}
+	}
+}
+
+func TestExecBadFlagsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	for _, tc := range [][]string{
+		{"-no-such-flag"},
+		{"-out", "/dev/null/nope"}, // unwritable bundle directory
+	} {
+		output, err := runSelf(t, tc...)
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("flightdump %v: want non-zero exit, got err=%v\n%s", tc, err, output)
+		}
+	}
+}

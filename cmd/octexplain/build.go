@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"categorytree/internal/ctcr"
+	"categorytree/internal/delta"
+	"categorytree/internal/ledger"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+)
+
+// mutationsFile is the -mutations file shape: batches applied in order, each
+// batch atomic, in the same mutation JSON shape POST /catalog/delta accepts.
+type mutationsFile struct {
+	Batches [][]delta.Mutation `json:"batches"`
+}
+
+// runBuildCmd is `octexplain build`: run a ledger-on build and dump the
+// sealed ledger. Without -mutations that is one full CTCR build; with
+// -mutations the catalog churns through the incremental delta engine and the
+// ledger describes the final batch's build (repairs, cache hits, and all).
+// -reference-out then also writes a from-scratch build of the same final
+// catalog, the natural left-hand side for `octexplain diff`.
+func runBuildCmd(args []string) {
+	fs := flagSet("build")
+	var (
+		in        = fs.String("in", "", "OCT instance JSON (required)")
+		variant   = fs.String("variant", "threshold-jaccard", "similarity variant")
+		deltaF    = fs.Float64("delta", 0.6, "threshold δ")
+		mutations = fs.String("mutations", "", "optional churn file: {\"batches\": [[mutation, ...], ...]}")
+		out       = fs.String("o", "-", "ledger output path (- for stdout)")
+		refOut    = fs.String("reference-out", "", "with -mutations: also write a full-build ledger of the same final catalog")
+	)
+	fatal(fs.Parse(args))
+	if *in == "" {
+		fatal(fmt.Errorf("build: -in is required"))
+	}
+	if *refOut != "" && *mutations == "" {
+		fatal(fmt.Errorf("build: -reference-out needs -mutations (without churn the main ledger already is the full build)"))
+	}
+
+	f, err := os.Open(*in)
+	fatal(err)
+	inst, err := oct.ReadJSON(f)
+	fatal(err)
+	fatal(f.Close())
+
+	v, err := sim.ParseVariant(*variant)
+	fatal(err)
+	cfg := oct.Config{Variant: v, Delta: *deltaF}
+
+	if *mutations == "" {
+		writeLedger(buildFull(inst, cfg), *out)
+		return
+	}
+
+	mf, err := os.Open(*mutations)
+	fatal(err)
+	var muts mutationsFile
+	dec := json.NewDecoder(mf)
+	dec.DisallowUnknownFields()
+	fatal(dec.Decode(&muts))
+	fatal(mf.Close())
+	if len(muts.Batches) == 0 {
+		fatal(fmt.Errorf("build: %s has no batches", *mutations))
+	}
+
+	led, final := buildDelta(inst, cfg, muts.Batches)
+	writeLedger(led, *out)
+	if *refOut != "" {
+		ref := buildFull(final, cfg)
+		// The reference build ran over the compact live catalog, so its IDs
+		// are compact; stamping the delta ledger's translation table makes
+		// both ledgers speak the same stable IDs under ToCatalog.
+		ref.StableOf = led.StableOf
+		ref.Meta.Source = "full-reference"
+		writeLedger(ref, *refOut)
+	}
+}
+
+// buildFull runs one recorded CTCR build and seals its ledger.
+func buildFull(inst *oct.Instance, cfg oct.Config) *ledger.Ledger {
+	rec := ledger.NewRecorder(0)
+	ctx := ledger.WithRecorder(context.Background(), rec)
+	_, err := ctcr.BuildContext(ctx, inst, cfg, ctcr.DefaultOptions())
+	fatal(err)
+	return rec.Seal()
+}
+
+// buildDelta churns inst through the delta engine batch by batch, recording
+// only the final batch (earlier batches warm the engine's conflict state and
+// fingerprint cache, which is exactly what makes the final ledger's shortcut
+// records interesting). Returns the sealed ledger and the final compact live
+// instance the recorded build saw.
+func buildDelta(inst *oct.Instance, cfg oct.Config, batches [][]delta.Mutation) (*ledger.Ledger, *oct.Instance) {
+	ctx := context.Background()
+	eng, err := delta.NewContext(ctx, inst, cfg, delta.DefaultOptions())
+	fatal(err)
+	for _, batch := range batches[:len(batches)-1] {
+		if _, err := eng.Apply(ctx, batch); err != nil {
+			fatal(err)
+		}
+		if _, err := eng.Rebuild(ctx); err != nil {
+			fatal(err)
+		}
+	}
+
+	rec := ledger.NewRecorder(0)
+	rctx := ledger.WithRecorder(ctx, rec)
+	if _, err := eng.Apply(rctx, batches[len(batches)-1]); err != nil {
+		fatal(err)
+	}
+	b, err := eng.Rebuild(rctx)
+	fatal(err)
+	led := rec.Seal()
+	led.StableOf = make([]int32, len(b.StableOf))
+	for i, id := range b.StableOf {
+		led.StableOf[i] = int32(id)
+	}
+	return led, b.Instance
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"categorytree/internal/ledger"
+)
+
+// runDiffCmd is `octexplain diff`: a structural, order-insensitive
+// comparison of two ledgers in catalog IDs. Typical use is a full build
+// against a delta build of the same catalog: the trees are identical (replay
+// equivalence pins that), so every line here is a difference in the ROUTE to
+// the same answer — cache hits instead of fresh solves, repairs instead of
+// full sweeps, a different number of parent candidates scanned.
+func runDiffCmd(args []string) {
+	fs := flagSet("diff")
+	limit := fs.Int("limit", 40, "max lines per section (0 = unlimited)")
+	if len(args) < 2 {
+		fatal(fmt.Errorf("diff: two ledger paths required"))
+	}
+	fatal(fs.Parse(args[2:]))
+	la, lb := loadLedger(args[0]), loadLedger(args[1])
+
+	fmt.Printf("a: %s  source=%s variant=%s delta=%g sets=%d records=%d\n",
+		args[0], la.Meta.Source, la.Meta.Variant, la.Meta.Delta, la.Meta.Sets, la.Len())
+	fmt.Printf("b: %s  source=%s variant=%s delta=%g sets=%d records=%d\n",
+		args[1], lb.Meta.Source, lb.Meta.Variant, lb.Meta.Delta, lb.Meta.Sets, lb.Len())
+
+	diffRanking(la, lb)
+
+	ra, rb := catalogRecords(la), catalogRecords(lb)
+	onlyA, onlyB, changed := diffRecords(ra, rb)
+	printSection(fmt.Sprintf("only in a (%d)", len(onlyA)), onlyA, *limit)
+	printSection(fmt.Sprintf("only in b (%d)", len(onlyB)), onlyB, *limit)
+	printSection(fmt.Sprintf("same decision, different route (%d)", len(changed)), changed, *limit)
+	if len(onlyA)+len(onlyB)+len(changed) == 0 {
+		fmt.Println("ledgers record identical decision sets")
+	}
+}
+
+// diffRanking compares the recorded rankings in catalog IDs.
+func diffRanking(la, lb *ledger.Ledger) {
+	toCatalog := func(l *ledger.Ledger) []int32 {
+		out := make([]int32, len(l.Ranking))
+		for i, id := range l.Ranking {
+			out[i] = l.Stable(id)
+		}
+		return out
+	}
+	a, b := toCatalog(la), toCatalog(lb)
+	if len(a) != len(b) {
+		fmt.Printf("ranking: a ranks %d sets, b ranks %d\n", len(a), len(b))
+		return
+	}
+	mismatch := 0
+	for i := range a {
+		if a[i] != b[i] {
+			mismatch++
+		}
+	}
+	if mismatch == 0 {
+		fmt.Printf("ranking: identical (%d sets)\n", len(a))
+	} else {
+		fmt.Printf("ranking: differs at %d of %d positions\n", mismatch, len(a))
+	}
+}
+
+// catalogRecords returns l's records translated into catalog IDs.
+func catalogRecords(l *ledger.Ledger) []ledger.Record {
+	out := make([]ledger.Record, l.Len())
+	for i, r := range l.Records {
+		out[i] = l.ToCatalog(r)
+	}
+	return out
+}
+
+// recordKey identifies a decision independent of the route taken to it: the
+// kind plus the sets it names. Payload fields that describe the route (via,
+// margins, bounds, scan counts) stay out of the key so the same decision
+// reached differently pairs up as "changed" rather than add+remove.
+func recordKey(r ledger.Record) string {
+	switch r.Kind {
+	case ledger.KindConflict2, ledger.KindMustTogether:
+		return fmt.Sprintf("%d|%d|%d", r.Kind, r.A, r.B)
+	case ledger.KindConflict3:
+		return fmt.Sprintf("%d|%d|%d|%d", r.Kind, r.A, r.B, r.C)
+	case ledger.KindLeftovers, ledger.KindDeltaReseed:
+		return fmt.Sprintf("%d", r.Kind)
+	default: // Keep, Trim, Place, AdmissionDrop, Cover, DeltaRepair, cache
+		return fmt.Sprintf("%d|%d", r.Kind, r.A)
+	}
+}
+
+// diffRecords pairs records across the two ledgers by decision key.
+func diffRecords(ra, rb []ledger.Record) (onlyA, onlyB, changed []string) {
+	index := func(recs []ledger.Record) map[string][]ledger.Record {
+		m := make(map[string][]ledger.Record, len(recs))
+		for _, r := range recs {
+			k := recordKey(r)
+			m[k] = append(m[k], r)
+		}
+		return m
+	}
+	ma, mb := index(ra), index(rb)
+	keys := make([]string, 0, len(ma)+len(mb))
+	for k := range ma {
+		keys = append(keys, k)
+	}
+	for k := range mb {
+		if _, ok := ma[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		as, bs := ma[k], mb[k]
+		n := len(as)
+		if len(bs) < n {
+			n = len(bs)
+		}
+		for i := 0; i < n; i++ {
+			if as[i] != bs[i] {
+				changed = append(changed, fmt.Sprintf("%s\n      b: %s", as[i].Describe(), bs[i].Describe()))
+			}
+		}
+		for _, r := range as[n:] {
+			onlyA = append(onlyA, r.Describe())
+		}
+		for _, r := range bs[n:] {
+			onlyB = append(onlyB, r.Describe())
+		}
+	}
+	return onlyA, onlyB, changed
+}
+
+func printSection(header string, lines []string, limit int) {
+	fmt.Println(header + ":")
+	if len(lines) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	shown := lines
+	if limit > 0 && len(lines) > limit {
+		shown = lines[:limit]
+	}
+	for _, l := range shown {
+		fmt.Println("  " + l)
+	}
+	if len(shown) < len(lines) {
+		fmt.Printf("  … and %d more\n", len(lines)-len(shown))
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/oct"
+)
+
+// runSelf invokes the command the way a user would, via go run, and returns
+// its combined output and exit error (nil on success).
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// writeInstance generates a small random instance file for the CLI to chew on.
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	inst := &oct.Instance{Universe: 60}
+	for i := 0; i < 24; i++ {
+		size := 2 + rng.Intn(8)
+		picked := make(map[intset.Item]bool, size)
+		for len(picked) < size {
+			picked[intset.Item(rng.Intn(60))] = true
+		}
+		items := make([]intset.Item, 0, size)
+		for it := range picked {
+			items = append(items, it)
+		}
+		inst.Sets = append(inst.Sets, oct.InputSet{
+			Items:  intset.New(items...),
+			Weight: 1 + float64(rng.Intn(5)),
+		})
+	}
+	path := filepath.Join(dir, "instance.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildTraceDiffRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	inst := writeInstance(t, dir)
+	full := filepath.Join(dir, "full.json")
+
+	out, err := runSelf(t, "build", "-in", inst, "-o", full)
+	if err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(full); err != nil || fi.Size() == 0 {
+		t.Fatalf("ledger %s missing or empty (err=%v)", full, err)
+	}
+
+	out, err = runSelf(t, "trace", full)
+	if err != nil {
+		t.Fatalf("trace failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "source=full") || !strings.Contains(out, "keep set") {
+		t.Fatalf("trace output missing expected lines:\n%s", out)
+	}
+
+	out, err = runSelf(t, "trace", full, "-set", "0")
+	if err != nil {
+		t.Fatalf("trace -set failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "set 0:") {
+		t.Fatalf("trace -set output missing filter header:\n%s", out)
+	}
+
+	muts := filepath.Join(dir, "muts.json")
+	mutsJSON := `{"batches": [
+	  [{"op":"add","items":[1,2,3,4,5],"weight":9,"label":"wave1"}],
+	  [{"op":"reweight","id":3,"weight":50},
+	   {"op":"add","items":[10,11,12,13],"weight":7,"label":"wave2"}]
+	]}`
+	if err := os.WriteFile(muts, []byte(mutsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deltaLed := filepath.Join(dir, "delta.json")
+	refLed := filepath.Join(dir, "ref.json")
+	out, err = runSelf(t, "build", "-in", inst, "-mutations", muts,
+		"-o", deltaLed, "-reference-out", refLed)
+	if err != nil {
+		t.Fatalf("delta build failed: %v\n%s", err, out)
+	}
+
+	out, err = runSelf(t, "diff", refLed, deltaLed)
+	if err != nil {
+		t.Fatalf("diff failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"source=full-reference", "source=delta", "ranking:", "only in a", "only in b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadArgsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	dir := t.TempDir()
+	inst := writeInstance(t, dir)
+	for _, tc := range [][]string{
+		{},                           // no subcommand
+		{"frobnicate"},               // unknown subcommand
+		{"build"},                    // missing -in
+		{"build", "-in", "/no/such"}, // unreadable instance
+		{"build", "-in", inst, "-reference-out", "/tmp/x"}, // -reference-out without -mutations
+		{"trace"},                  // missing ledger path
+		{"trace", "/no/such.json"}, // unreadable ledger
+		{"diff", "/no/such.json"},  // only one path
+	} {
+		out, err := runSelf(t, tc...)
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("octexplain %v: want non-zero exit, got err=%v\n%s", tc, err, out)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+
+	"categorytree/internal/ledger"
+)
+
+// runTraceCmd is `octexplain trace`: print a ledger as a human-readable
+// decision trace, one line per record, in catalog (stable) IDs.
+func runTraceCmd(args []string) {
+	fs := flagSet("trace")
+	set := fs.Int("set", -1, "only decisions mentioning this catalog set ID")
+	if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
+		fatal(fmt.Errorf("trace: ledger path required before flags"))
+	}
+	fatal(fs.Parse(args[1:]))
+	l := loadLedger(args[0])
+
+	fmt.Printf("ledger: source=%s variant=%s delta=%g sets=%d universe=%d records=%d\n",
+		l.Meta.Source, l.Meta.Variant, l.Meta.Delta, l.Meta.Sets, l.Meta.Universe, l.Len())
+	if l.Meta.Truncated {
+		fmt.Printf("warning: truncated — %d records dropped at the recorder's cap; the trace is incomplete\n", l.Meta.Dropped)
+	}
+
+	recs := l.Records
+	if *set >= 0 {
+		ix := ledger.NewIndex(l)
+		if !ix.Known(int32(*set)) {
+			fatal(fmt.Errorf("trace: set %d is not part of this build", *set))
+		}
+		recs = ix.ForSet(int32(*set))
+		fmt.Printf("set %d: %d decisions\n", *set, len(recs))
+	}
+	for _, r := range recs {
+		fmt.Println("  " + l.ToCatalog(r).Describe())
+	}
+}

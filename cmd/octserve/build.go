@@ -12,6 +12,7 @@ import (
 
 	"categorytree/internal/cct"
 	"categorytree/internal/ctcr"
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 	"categorytree/internal/obs/trace"
 	"categorytree/internal/oct"
@@ -73,6 +74,10 @@ type buildSpec struct {
 	inst      *oct.Instance
 	trace     bool
 	publish   bool
+	// ledger records a decision ledger during the build (server -ledger flag;
+	// CTCR only — CCT has no recording hooks). The sealed ledger is published
+	// with the snapshot, feeding /explain.
+	ledger bool
 }
 
 // httpError carries a status code alongside the message.
@@ -139,18 +144,28 @@ func (s *server) parseBuildSpec(r *http.Request) (buildSpec, error) {
 	case "1", "true":
 		publish = true
 	}
-	return buildSpec{algorithm: req.Algorithm, cfg: cfg, inst: inst, trace: req.Trace, publish: publish}, nil
+	return buildSpec{
+		algorithm: req.Algorithm, cfg: cfg, inst: inst,
+		trace: req.Trace, publish: publish,
+		ledger: s.ledgerOn && req.Algorithm == "ctcr",
+	}, nil
 }
 
 // runBuild executes the pipeline for spec with reg as the request-scoped
 // registry (assumed already on ctx via obs.WithRegistry). It is the shared
 // core of the sync and async paths. The built tree is returned alongside the
-// response so callers can publish it as the served snapshot.
-func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildResponse, *tree.Tree, error) {
+// response so callers can publish it as the served snapshot; the sealed
+// decision ledger rides along when the spec asked for one (nil otherwise).
+func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildResponse, *tree.Tree, *ledger.Ledger, error) {
 	var rec *trace.Recorder
 	if spec.trace {
 		rec = trace.New()
 		ctx = trace.WithRecorder(ctx, rec)
+	}
+	var lrec *ledger.Recorder
+	if spec.ledger {
+		lrec = ledger.NewRecorder(0)
+		ctx = ledger.WithRecorder(ctx, lrec)
 	}
 
 	resp := &buildResponse{
@@ -164,7 +179,7 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 	case "ctcr":
 		res, err := ctcr.BuildContext(ctx, spec.inst, spec.cfg, ctcr.DefaultOptions())
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		built = res.Tree
 		resp.Selected = len(res.Selected)
@@ -172,7 +187,7 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 	case "cct":
 		res, err := cct.BuildContext(ctx, spec.inst, spec.cfg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		built = res.Tree
 	}
@@ -181,26 +196,32 @@ func runBuild(ctx context.Context, spec buildSpec, reg *obs.Registry) (*buildRes
 
 	var buf bytes.Buffer
 	if err := built.WriteJSON(&buf); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	resp.Tree = buf.Bytes()
 	if rec != nil {
 		var tb bytes.Buffer
 		if err := rec.WriteJSON(&tb); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		resp.Trace = tb.Bytes()
 	}
-	return resp, built, nil
+	var led *ledger.Ledger
+	if lrec != nil {
+		led = lrec.Seal()
+	}
+	return resp, built, led, nil
 }
 
 // maybePublish swaps built in as the served snapshot when the spec asked for
-// it, recording the new version in resp.
-func (s *server) maybePublish(spec buildSpec, resp *buildResponse, built *tree.Tree) {
+// it, recording the new version in resp. The build's decision ledger (nil
+// without -ledger) is published atomically with the tree, so /explain always
+// describes exactly the snapshot being served.
+func (s *server) maybePublish(spec buildSpec, resp *buildResponse, built *tree.Tree, led *ledger.Ledger) {
 	if !spec.publish || built == nil {
 		return
 	}
-	snap := s.pub.Publish(built)
+	snap := s.pub.PublishProvenance(built, led)
 	resp.PublishedVersion = &snap.Version
 }
 
@@ -245,7 +266,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	ctx = obs.WithRegistry(ctx, reg)
 
-	resp, built, err := runBuild(ctx, spec, reg)
+	resp, built, led, err := runBuild(ctx, spec, reg)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -255,7 +276,7 @@ func (s *server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.maybePublish(spec, resp, built)
+	s.maybePublish(spec, resp, built, led)
 	writeJSON(w, resp)
 }
 
@@ -292,18 +313,19 @@ func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	var (
 		resp  *buildResponse
 		built *tree.Tree
+		led   *ledger.Ledger
 		err   error
 	)
 	// Label the whole job so pprof samples from async builds slice by
 	// endpoint/algorithm just like read-path samples slice by endpoint.
 	obs.DoLabels(ctx, []string{"endpoint", "build", "algorithm", spec.algorithm}, func(ctx context.Context) {
-		resp, built, err = runBuild(ctx, spec, j.reg)
+		resp, built, led, err = runBuild(ctx, spec, j.reg)
 	})
 	state := jobDone
 	msg := ""
 	switch {
 	case err == nil:
-		s.maybePublish(spec, resp, built)
+		s.maybePublish(spec, resp, built, led)
 	case ctx.Err() != nil:
 		state, msg = jobCanceled, ctx.Err().Error()
 	default:

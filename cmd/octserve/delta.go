@@ -6,7 +6,9 @@ import (
 	"net/http"
 
 	"categorytree/internal/delta"
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
+	"categorytree/internal/obs/flight"
 	"categorytree/internal/treediff"
 )
 
@@ -41,7 +43,15 @@ const maxDeltaBody = 8 << 20
 // lazily from the boot instance (-in) on the first batch and owns the
 // catalog lineage from then on; validation failures reject the whole batch
 // with 400 and leave both the engine and the published snapshot untouched.
+//
+// Like the read endpoints, the handler opens a request span (retained whole
+// when the request tail-samples) and annotates the in-flight wide event with
+// the batch size and the published snapshot version — a surprising publish
+// in production traces straight back to the batch that caused it.
 func (s *server) handleCatalogDelta(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := obs.StartSpanContext(r.Context(), "write.catalog_delta")
+	defer sp.End()
+	fq := flight.FromContext(ctx)
 	if s.inst == nil {
 		http.Error(w, "octserve: no instance loaded (-in), nothing to mutate", http.StatusNotFound)
 		return
@@ -62,8 +72,8 @@ func (s *server) handleCatalogDelta(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "octserve: empty mutation batch", http.StatusBadRequest)
 		return
 	}
+	fq.SetItems(len(req.Mutations))
 
-	ctx := obs.WithRegistry(r.Context(), s.reg)
 	s.deltaMu.Lock()
 	defer s.deltaMu.Unlock()
 
@@ -74,6 +84,15 @@ func (s *server) handleCatalogDelta(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.deltaEng = eng
+	}
+
+	// One fresh recorder per batch: its ledger describes exactly the build
+	// this batch triggers (Apply's repair records plus Rebuild's analysis,
+	// MIS, and construction records), never an accumulation across batches.
+	var lrec *ledger.Recorder
+	if s.ledgerOn {
+		lrec = ledger.NewRecorder(0)
+		ctx = ledger.WithRecorder(ctx, lrec)
 	}
 
 	rep, err := s.deltaEng.Apply(ctx, req.Mutations)
@@ -88,10 +107,24 @@ func (s *server) handleCatalogDelta(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "octserve: rebuild after batch: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	var led *ledger.Ledger
+	if lrec != nil {
+		led = lrec.Seal()
+		// The stable translation table is what lets /explain answer in the
+		// catalog's stable IDs (and octexplain diff a delta ledger against a
+		// full one) while the build-stage records stay in compact IDs.
+		led.StableOf = make([]int32, len(b.StableOf))
+		for i, id := range b.StableOf {
+			led.StableOf[i] = int32(id)
+		}
+	}
 	// Build-then-publish: the rebuilt tree is complete (covers stamped with
 	// engine-stable IDs) before the atomic snapshot swap; in-flight readers
 	// finish on the snapshot they loaded.
-	snap := s.pub.Publish(b.Result.Tree)
+	snap := s.pub.PublishProvenance(b.Result.Tree, led)
+	fq.SetSnapshotVersion(snap.Version)
+	sp.Attr("mutations", len(req.Mutations))
+	sp.Attr("version", int(snap.Version))
 
 	writeJSON(w, deltaView{
 		Version:    snap.Version,

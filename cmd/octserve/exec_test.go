@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildSelf compiles the server binary once into the test's temp dir — the
+// exec tests exercise the real process (flag parsing, signal handling,
+// listener lifecycle), not the handler plumbing the in-process tests cover.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "octserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr grabs an ephemeral localhost port. The listener closes before the
+// server starts; the tiny reuse race is acceptable in a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestExecServeAndShutdown boots the real binary treeless with the ledger
+// on, drives the health, metrics, and explain endpoints over real HTTP, and
+// checks SIGTERM produces a clean, logged, zero-exit shutdown.
+func TestExecServeAndShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and a server process")
+	}
+	bin := buildSelf(t)
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-tree", "", "-ledger", "-addr", addr)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Second}
+	get := func(path string) (*http.Response, error) {
+		resp, err := client.Get(base + path)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return resp, err
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if resp, err := get("/healthz"); err == nil && resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy at %s\n%s", addr, logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for path, want := range map[string]int{
+		"/metrics":       http.StatusOK,
+		"/":              http.StatusServiceUnavailable, // treeless: no snapshot yet
+		"/explain/set/0": http.StatusNotFound,           // no ledger-on build published yet
+	} {
+		resp, err := get(path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not shut down on SIGTERM\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "shutting down") {
+		t.Fatalf("no shutdown log line:\n%s", logs.String())
+	}
+}
+
+// TestExecBadInvocationsExitNonzero checks the process-level failure paths:
+// bad flags, a missing tree file, and a port that is already taken.
+func TestExecBadInvocationsExitNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and a server process")
+	}
+	bin := buildSelf(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	for _, tc := range [][]string{
+		{"-no-such-flag"},
+		{"-tree", "/no/such/tree.json"},
+		{"-tree", "", "-addr", ln.Addr().String()}, // port in use
+	} {
+		cmd := exec.Command(bin, tc...)
+		out, err := cmd.CombinedOutput()
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("octserve %v: want non-zero exit, got err=%v\n%s", tc, err, out)
+		}
+	}
+}

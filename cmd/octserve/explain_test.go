@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"categorytree/internal/serve"
+)
+
+// TestExplainEndToEnd drives the full provenance loop over HTTP: a ledger-on
+// server answers /explain off the snapshot a published build produced, and
+// the boot tree (published without a ledger) correctly has no explanation.
+func TestExplainEndToEnd(t *testing.T) {
+	s := testServer(t, func(o *serverOptions) { o.Ledger = true })
+
+	// The boot tree was published without a build, so it has no provenance.
+	rec := get(t, s, "/explain/set/0")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "no provenance") {
+		t.Fatalf("boot snapshot: status %d body %s", rec.Code, rec.Body)
+	}
+
+	// A published CTCR build attaches its ledger to the new snapshot.
+	if rec := postJSON(t, s, "/build?publish=1", `{}`); rec.Code != 200 {
+		t.Fatalf("build: status %d: %s", rec.Code, rec.Body)
+	}
+	rec = get(t, s, "/explain/set/0")
+	if rec.Code != 200 {
+		t.Fatalf("explain after build: status %d: %s", rec.Code, rec.Body)
+	}
+	var res serve.ExplainSetResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "full" || res.Variant != "threshold-jaccard" || len(res.Records) == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	for _, rv := range res.Records {
+		if rv.Text == "" {
+			t.Fatalf("record without rendering: %+v", rv)
+		}
+	}
+
+	// Every non-root category of the served tree explains, and its records
+	// are the union of its covers' trails (the root covers no input set).
+	snap := s.pub.Current()
+	for _, n := range snap.Tree.Categories() {
+		if len(n.Covers) == 0 {
+			continue
+		}
+		rec := get(t, s, "/explain/category/"+strconv.Itoa(n.ID))
+		if rec.Code != 200 {
+			t.Fatalf("category %d: status %d: %s", n.ID, rec.Code, rec.Body)
+		}
+		var cres serve.ExplainCategoryResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &cres); err != nil {
+			t.Fatal(err)
+		}
+		if len(cres.Covers) == 0 || len(cres.Records) == 0 {
+			t.Fatalf("category %d explained empty: %+v", n.ID, cres)
+		}
+	}
+}
+
+// TestExplainAfterDelta asserts the delta-publish path carries provenance
+// too: after a /catalog/delta batch, /explain answers in engine-stable IDs
+// with Source "delta".
+func TestExplainAfterDelta(t *testing.T) {
+	s := testServer(t, func(o *serverOptions) { o.Ledger = true })
+
+	rec := postJSON(t, s, "/catalog/delta",
+		`{"mutations":[{"op":"add","items":[0,1],"weight":3,"label":"tees"}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("delta: status %d: %s", rec.Code, rec.Body)
+	}
+
+	// Stable ID 2 is the added set; 0 is the boot catalog's first set.
+	for _, id := range []string{"0", "2"} {
+		rec = get(t, s, "/explain/set/"+id)
+		if rec.Code != 200 {
+			t.Fatalf("explain set %s: status %d: %s", id, rec.Code, rec.Body)
+		}
+		var res serve.ExplainSetResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Source != "delta" || len(res.Records) == 0 {
+			t.Fatalf("set %s: res = %+v", id, res)
+		}
+	}
+
+	// Without -ledger the delta publish carries no provenance and /explain
+	// keeps 404ing — the flag is the opt-in.
+	off := testServer(t)
+	if rec := postJSON(t, off, "/catalog/delta",
+		`{"mutations":[{"op":"reweight","id":0,"weight":4}]}`); rec.Code != 200 {
+		t.Fatalf("ledger-off delta: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := get(t, off, "/explain/set/0"); rec.Code != 404 {
+		t.Fatalf("ledger-off explain: status %d", rec.Code)
+	}
+}
+
+// TestReadyzVersionAdvancesOnDeltaPublish is the regression companion to the
+// full-build publish test: the delta path must advance both the /readyz
+// snapshot_version and the oct_snapshot_version gauge, not just POST /build.
+func TestReadyzVersionAdvancesOnDeltaPublish(t *testing.T) {
+	s := testServer(t)
+
+	readyVersion := func() uint64 {
+		rec := get(t, s, "/readyz")
+		if rec.Code != 200 {
+			t.Fatalf("/readyz status %d: %s", rec.Code, rec.Body)
+		}
+		var v readyView
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		return v.SnapshotVersion
+	}
+	gaugeVersion := func() string {
+		body := get(t, s, "/metrics?format=prometheus").Body.String()
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "oct_snapshot_version ") {
+				return strings.TrimSpace(strings.TrimPrefix(line, "oct_snapshot_version "))
+			}
+		}
+		t.Fatalf("oct_snapshot_version missing from exposition:\n%s", body)
+		return ""
+	}
+
+	before := readyVersion()
+	if g := gaugeVersion(); g != strconv.Itoa(int(before)) {
+		t.Fatalf("gauge %s != readyz version %d before delta", g, before)
+	}
+
+	rec := postJSON(t, s, "/catalog/delta",
+		`{"mutations":[{"op":"reweight","id":0,"weight":7}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("delta: status %d: %s", rec.Code, rec.Body)
+	}
+
+	after := readyVersion()
+	if after != before+1 {
+		t.Fatalf("snapshot_version = %d after delta publish, want %d", after, before+1)
+	}
+	if g := gaugeVersion(); g != strconv.Itoa(int(after)) {
+		t.Fatalf("oct_snapshot_version gauge = %s after delta publish, want %d", g, after)
+	}
+}

@@ -20,6 +20,15 @@
 //	                         simulated browse-then-filter session for an
 //	                         ad-hoc target set (also at /api/navigate)
 //	GET /api/coverage        per-input-set cover scores (needs -in)
+//	GET /explain/set/{id}    decision-ledger trail of one input set: its
+//	                         conflict edges with witness margins, the MIS
+//	                         keep/trim verdict with deciding neighbors, where
+//	                         construction placed it (needs -ledger and a
+//	                         published ledger-on build; 404 before the first
+//	                         publish or when the snapshot has no provenance)
+//	GET /explain/category/{id}
+//	                         the same trail for every input set a served
+//	                         category covers, deduped
 //	POST /build              run a full CTCR or CCT build with a
 //	                         request-scoped metrics registry; returns the
 //	                         tree, a per-stage breakdown, and optionally a
@@ -56,7 +65,11 @@
 // Every request gets a trace id (echoed as X-Trace-Id; a well-formed inbound
 // X-Trace-Id is adopted, continuing the caller's trace) and one structured
 // access-log line; -log selects text or JSON log output. -flight-ring and
-// -trace-retain size the flight recorder. The server shuts down gracefully
+// -trace-retain size the flight recorder. -ledger records a decision ledger
+// on every CTCR build and delta batch and publishes it with the snapshot,
+// enabling /explain; -tree "" starts the server treeless (deploy-then-load:
+// browsing endpoints answer 503 until a build publishes). The server shuts
+// down gracefully
 // on SIGINT or SIGTERM: in-flight async jobs are canceled through their
 // contexts, then HTTP requests drain for up to 10 seconds.
 package main
@@ -80,7 +93,7 @@ import (
 
 func main() {
 	var (
-		treePath     = flag.String("tree", "tree.json", "tree JSON file")
+		treePath     = flag.String("tree", "tree.json", "tree JSON file (empty starts treeless; publish via POST /build)")
 		in           = flag.String("in", "", "optional OCT instance file (enables /api/coverage)")
 		titles       = flag.String("titles", "", "optional titles file, one per item line")
 		variant      = flag.String("variant", "threshold-jaccard", "similarity variant for coverage")
@@ -94,15 +107,19 @@ func main() {
 		readCache    = flag.Int("read-cache", 0, "per-snapshot response cache entries for /categorize and /navigate (0 = default 4096, negative disables)")
 		flightRing   = flag.Int("flight-ring", 0, "flight recorder wide-event ring size (0 = default 4096, negative disables the recorder)")
 		traceRetain  = flag.Int("trace-retain", 0, "retained tail-sampled traces for /debug/traces (0 = default 256)")
+		ledgerOn     = flag.Bool("ledger", false, "record a decision ledger on every build and serve /explain off the published snapshot")
 	)
 	flag.Parse()
 	logger := olog.Setup(*logFormat)
 
-	tf, err := os.Open(*treePath)
-	fatal(err)
-	tr, err := tree.ReadJSON(tf)
-	fatal(err)
-	fatal(tf.Close())
+	var tr *tree.Tree
+	if *treePath != "" {
+		tf, err := os.Open(*treePath)
+		fatal(err)
+		tr, err = tree.ReadJSON(tf)
+		fatal(err)
+		fatal(tf.Close())
+	}
 
 	var inst *oct.Instance
 	if *in != "" {
@@ -127,6 +144,7 @@ func main() {
 		ReadCacheSize: *readCache,
 		FlightRing:    *flightRing,
 		TraceRetain:   *traceRetain,
+		Ledger:        *ledgerOn,
 	})
 	fatal(err)
 
@@ -143,10 +161,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	categories := 0
+	if tr != nil {
+		categories = tr.Len()
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		logger.LogAttrs(context.Background(), slog.LevelInfo, "serving",
-			slog.Int("categories", tr.Len()),
+			slog.Int("categories", categories),
 			slog.String("addr", *addr),
 		)
 		errCh <- httpSrv.ListenAndServe()

@@ -63,6 +63,9 @@ type serverOptions struct {
 	// bounds its retained tail-sampled trace store (0 = 256).
 	FlightRing  int
 	TraceRetain int
+	// Ledger records a decision ledger on every CTCR build and delta batch
+	// and publishes it with the snapshot, enabling the /explain endpoints.
+	Ledger bool
 }
 
 // server holds the serving state: the snapshot publisher (the only route to
@@ -70,18 +73,19 @@ type serverOptions struct {
 // read-path handlers over it, the instance, plus the async job registry and
 // the adaptive build-timeout controller.
 type server struct {
-	pub     *serve.Publisher
-	reader  *serve.Reader
-	inst    *oct.Instance
-	titles  []string
-	cfg     oct.Config
-	mux     *http.ServeMux
-	reg     *obs.Registry
-	log     *slog.Logger
-	jobs    *jobRegistry
-	timeout *timeoutController
-	flight  *flight.Recorder // nil when disabled (-flight-ring < 0)
-	start   time.Time
+	pub      *serve.Publisher
+	reader   *serve.Reader
+	inst     *oct.Instance
+	titles   []string
+	cfg      oct.Config
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	log      *slog.Logger
+	jobs     *jobRegistry
+	timeout  *timeoutController
+	flight   *flight.Recorder // nil when disabled (-flight-ring < 0)
+	ledgerOn bool             // -ledger: record build provenance for /explain
+	start    time.Time
 
 	// baseCtx parents every async job; closing the server cancels it, which
 	// aborts in-flight builds mid-stage (their jobs end "canceled").
@@ -113,16 +117,17 @@ func newServer(opts serverOptions) (*server, error) {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &server{
-		pub:     serve.NewPublisher(reg, opts.ReadCacheSize),
-		inst:    opts.Instance,
-		cfg:     oct.Config{Variant: v, Delta: opts.Delta},
-		mux:     http.NewServeMux(),
-		reg:     reg,
-		log:     logger,
-		jobs:    newJobRegistry(opts.MaxJobs, opts.JobTTL),
-		start:   time.Now(),
-		baseCtx: baseCtx,
-		cancel:  cancel,
+		pub:      serve.NewPublisher(reg, opts.ReadCacheSize),
+		inst:     opts.Instance,
+		cfg:      oct.Config{Variant: v, Delta: opts.Delta},
+		mux:      http.NewServeMux(),
+		reg:      reg,
+		log:      logger,
+		jobs:     newJobRegistry(opts.MaxJobs, opts.JobTTL),
+		ledgerOn: opts.Ledger,
+		start:    time.Now(),
+		baseCtx:  baseCtx,
+		cancel:   cancel,
 	}
 	s.timeout = newTimeoutController(reg.Histogram("http.build/latency"), opts.BuildTimeout)
 	if opts.FlightRing >= 0 {
@@ -178,6 +183,8 @@ func newServer(opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("/navigate", navigate)
 	s.mux.HandleFunc("/api/navigate", navigate)
 	s.mux.HandleFunc("/api/coverage", s.instrument("coverage", s.handleCoverage))
+	s.mux.HandleFunc("GET /explain/set/{id}", s.instrument("explain_set", s.reader.ExplainSet))
+	s.mux.HandleFunc("GET /explain/category/{id}", s.instrument("explain_category", s.reader.ExplainCategory))
 	build := s.instrument("build", s.handleBuild)
 	s.mux.HandleFunc("/build", build)
 	s.mux.HandleFunc("/api/build", build)

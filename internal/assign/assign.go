@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
@@ -297,6 +298,7 @@ func (a *Assigner) RunContext(ctx context.Context) error {
 	sp, ctx := obs.StartSpanContext(ctx, "assign.run")
 	defer sp.End()
 	done := ctx.Done()
+	led := ledger.FromContext(ctx)
 	var iterations, requeues, covers, placements int64
 	h := &gainHeap{}
 	for _, q := range a.targets {
@@ -333,6 +335,8 @@ func (a *Assigner) RunContext(ctx context.Context) error {
 		}
 		covers++
 		placements += int64(len(picks))
+		led.Add(ledger.Record{Kind: ledger.KindCover,
+			A: int32(ent.q), B: int32(len(picks)), X: g})
 		// Categories along the touched branches changed; gains are
 		// revalidated lazily on pop, but sets that previously had no
 		// positive gain may have gained one only through coverage loss,
@@ -525,6 +529,10 @@ func (a *Assigner) assignLeftovers(ctx context.Context) {
 	}
 	sp.Counter("iterations").Add(iterations)
 	sp.Counter("placements").Add(placements)
+	if led := ledger.FromContext(ctx); led.Enabled() {
+		led.Add(ledger.Record{Kind: ledger.KindLeftovers,
+			A: int32(placements), B: int32(iterations)})
+	}
 }
 
 // move is one candidate leftover placement.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
@@ -166,6 +167,8 @@ func less(inst *oct.Instance, a, b oct.SetID) bool {
 
 // coverPair runs the size-only pair tests. hiLen ≥ loLen by ranking; inter
 // is |I|, inter1 is |I₁| (bound-1 shared items).
+//
+//oct:hotpath evaluated once per intersecting pair; must not allocate
 func coverPair(hiLen, loLen, inter, inter1 int, base sim.Base, deltaHi, deltaLo float64, exact bool) PairCover {
 	var pc PairCover
 	switch {
@@ -196,6 +199,89 @@ func coverPair(hiLen, loLen, inter, inter1 int, base sim.Base, deltaHi, deltaLo 
 		pc.Separately = inter1 <= x1+x2
 	}
 	return pc
+}
+
+// pairMargins mirrors coverPair's arithmetic and returns the signed
+// distance of each coverability test from its threshold, in the test's
+// native item units: a non-negative together margin means the pair passed
+// the together test with that much slack, a negative one that it missed by
+// that much (likewise for separately). The margins are the δ-margin
+// witnesses the decision ledger stores per conflict edge; they are computed
+// only while a recorder is attached, off the pair-enumeration hot path.
+//
+//oct:coldpath ledger witness capture; runs only with a recorder attached
+func pairMargins(hiLen, loLen, inter, inter1 int, base sim.Base, deltaHi, deltaLo float64, exact bool) (together, separately float64) {
+	switch {
+	case exact:
+		return float64(inter - loLen), float64(-inter1)
+	case base == sim.BasePR:
+		union := hiLen + loLen - inter
+		return float64(hiLen) - deltaHi*float64(union), float64(-inter1)
+	case base == sim.BaseJaccard:
+		y2 := ceilEps(deltaLo*float64(loLen)) - inter
+		if y2 < 0 {
+			y2 = 0
+		}
+		together = float64(hiLen)*(1-deltaHi)/deltaHi - float64(y2)
+		x1 := minInt(floorEps(float64(hiLen)*(1-deltaHi)), inter1)
+		x2 := minInt(floorEps(float64(loLen)*(1-deltaLo)), inter1)
+		return together, float64(x1 + x2 - inter1)
+	default: // BaseF1
+		y2 := ceilEps(float64(loLen)*deltaLo/(2-deltaLo)) - inter
+		if y2 < 0 {
+			y2 = 0
+		}
+		together = float64(hiLen)*2*(1-deltaHi)/deltaHi - float64(y2)
+		x1 := minInt(floorEps(float64(hiLen)*2*(1-deltaHi)/(2-deltaHi)), inter1)
+		x2 := minInt(floorEps(float64(loLen)*2*(1-deltaLo)/(2-deltaLo)), inter1)
+		return together, float64(x1 + x2 - inter1)
+	}
+}
+
+// RecordPairWitness re-derives the witness for one already-classified pair
+// — the item overlap and both test margins — and emits its ledger record.
+// The delta engine uses it to materialize records for incrementally
+// maintained edges, whose overlaps it does not retain; the analyzer's own
+// merge loop goes through recordPairWitness with the overlaps its workers
+// buffered.
+//
+//oct:coldpath ledger capture; runs only with a recorder attached
+func RecordPairWitness(led *ledger.Recorder, inst *oct.Instance, cfg oct.Config, a, b oct.SetID, together bool) {
+	qa, qb := inst.Sets[a], inst.Sets[b]
+	inter := qa.Items.IntersectSize(qb.Items)
+	inter1 := inter
+	if hasBounds(cfg) {
+		inter1 = boundOneIntersection(cfg, qa.Items, qb.Items)
+	}
+	recordPairWitness(led, inst, cfg, a, b, inter, inter1, together)
+}
+
+// recordPairWitness emits the ledger record for one classified pair.
+//
+//oct:coldpath
+func recordPairWitness(led *ledger.Recorder, inst *oct.Instance, cfg oct.Config, a, b oct.SetID, inter, inter1 int, together bool) {
+	led.Add(pairWitnessRecord(inst, cfg, a, b, inter, inter1, together))
+}
+
+// pairWitnessRecord builds the ledger record for one classified pair: the
+// witnessing overlap and the signed test margins (positive fields are
+// misses for conflicts and slack/miss for must-together edges). Pure, so
+// the analyzer's workers can emit records in parallel.
+//
+//oct:coldpath
+func pairWitnessRecord(inst *oct.Instance, cfg oct.Config, a, b oct.SetID, inter, inter1 int, together bool) ledger.Record {
+	hi, lo := a, b
+	if less(inst, b, a) {
+		hi, lo = b, a
+	}
+	togM, sepM := pairMargins(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
+		cfg.Variant.Base(), cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), cfg.Variant == sim.Exact)
+	if together {
+		return ledger.Record{Kind: ledger.KindMustTogether,
+			A: int32(a), B: int32(b), C: int32(inter), X: togM, Y: -sepM}
+	}
+	return ledger.Record{Kind: ledger.KindConflict2,
+		A: int32(a), B: int32(b), C: int32(inter), X: -togM, Y: -sepM}
 }
 
 func minInt(a, b int) int {
@@ -296,11 +382,22 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 	exact := cfg.Variant == sim.Exact
 	base := cfg.Variant.Base()
 
+	// Decision-ledger capture is opt-in per build. When off, the hot pair
+	// loop pays exactly one hoisted bool test per classified pair and zero
+	// extra allocations; when on, workers compute margins and pack records
+	// in parallel, buffered in fixed-size chunks (no growslice copying on
+	// large builds), and the merge below bulk-appends chunk by chunk, so
+	// the recorder's mutex is taken once per ~4k records, never per pair.
+	led := ledger.FromContext(ctx)
+	capture := led.Enabled()
+	const witnessChunk = 4096
+
 	type pairRes struct {
 		conflicts [][2]oct.SetID
 		together  [][2]oct.SetID
-		pairs     int64         // intersecting pairs evaluated by this worker
-		elapsed   time.Duration // worker wall time, for the skew gauge
+		witness   [][]ledger.Record // ledger capture only; empty when off
+		pairs     int64             // intersecting pairs evaluated by this worker
+		elapsed   time.Duration     // worker wall time, for the skew gauge
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -377,11 +474,22 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 						}
 						pc := coverPair(inst.Sets[hi].Items.Len(), inst.Sets[lo].Items.Len(), inter, inter1,
 							base, cfg.Delta0(inst.Sets[hi]), cfg.Delta0(inst.Sets[lo]), exact)
-						switch {
-						case !pc.Together && !pc.Separately:
-							results[w].conflicts = append(results[w].conflicts, [2]oct.SetID{ai, bi})
-						case pc.Together && !pc.Separately:
-							results[w].together = append(results[w].together, [2]oct.SetID{ai, bi})
+						classified := !pc.Separately
+						if classified {
+							if pc.Together {
+								results[w].together = append(results[w].together, [2]oct.SetID{ai, bi})
+							} else {
+								results[w].conflicts = append(results[w].conflicts, [2]oct.SetID{ai, bi})
+							}
+							if capture {
+								wcs := results[w].witness
+								if len(wcs) == 0 || len(wcs[len(wcs)-1]) == witnessChunk {
+									wcs = append(wcs, make([]ledger.Record, 0, witnessChunk))
+								}
+								wcs[len(wcs)-1] = append(wcs[len(wcs)-1],
+									pairWitnessRecord(inst, cfg, ai, bi, inter, inter1, pc.Together))
+								results[w].witness = wcs
+							}
 						}
 					}
 				}
@@ -394,9 +502,15 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 	}
 
 	// Worker skew (max/mean wall time) flags uneven stride partitions: a
-	// value near 1 means the parallel sweep was balanced.
+	// value near 1 means the parallel sweep was balanced. The per-worker
+	// busy-time histogram underneath it is the baseline the roadmap's
+	// work-stealing change has to beat: skew says only how bad the worst
+	// worker was, the distribution says how much idle time rebalancing
+	// could actually reclaim.
+	busy := sp.Histogram("worker_busy")
 	var maxElapsed, sumElapsed time.Duration
 	for _, pr := range results {
+		busy.Observe(pr.elapsed)
 		sumElapsed += pr.elapsed
 		if pr.elapsed > maxElapsed {
 			maxElapsed = pr.elapsed
@@ -407,6 +521,13 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 		sp.Gauge("worker_skew").Set(float64(maxElapsed) / mean)
 	}
 
+	if capture {
+		ranking := make([]int32, len(res.Ranking))
+		for i, id := range res.Ranking {
+			ranking[i] = int32(id)
+		}
+		led.SetRanking(ranking)
+	}
 	var pairsChecked int64
 	for _, pr := range results {
 		pairsChecked += pr.pairs
@@ -418,6 +539,9 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 			res.mustT[pairKey(m[0], m[1])] = struct{}{}
 			res.MustT[m[0]] = append(res.MustT[m[0]], m[1])
 			res.MustT[m[1]] = append(res.MustT[m[1]], m[0])
+		}
+		for _, chunk := range pr.witness {
+			led.AddBatch(chunk)
 		}
 	}
 	sortPairs(res.Conflicts2)
@@ -434,6 +558,12 @@ func AnalyzeContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, aOp
 		tsp.End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if capture {
+			for _, t := range res.Conflicts3 {
+				led.Add(ledger.Record{Kind: ledger.KindConflict3,
+					A: int32(t[0]), B: int32(t[1]), C: int32(t[2])})
+			}
 		}
 	}
 	sp.Counter("sets").Add(int64(n))

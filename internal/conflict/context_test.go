@@ -1,7 +1,9 @@
 package conflict
 
 import (
+	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"categorytree/internal/obs"
@@ -45,5 +47,40 @@ func TestAnalyzeContextScopedMetrics(t *testing.T) {
 	}
 	if skew < 1 {
 		t.Fatalf("worker_skew = %v, want ≥ 1", skew)
+	}
+}
+
+// TestWorkerBusyHistogramExposition asserts the per-worker busy-time
+// distribution (not just the max-skew gauge) reaches the Prometheus
+// exposition with bucket labels, so dashboards can see how uneven the stride
+// partition is, not merely its worst case.
+func TestWorkerBusyHistogramExposition(t *testing.T) {
+	inst := randomInstance(xrand.New(3), 40, 50)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, err := AnalyzeContext(ctx, inst, oct.Config{Variant: sim.ThresholdJaccard, Delta: 0.6}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["conflict.analyze/worker_busy"]
+	if !ok {
+		t.Fatalf("worker_busy histogram missing: %+v", snap.Histograms)
+	}
+	if h.Count < 1 {
+		t.Fatalf("worker_busy count = %d, want ≥ 1 observation per worker", h.Count)
+	}
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf, "oct"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`oct_conflict_analyze_worker_busy_seconds_bucket{le="`,
+		"oct_conflict_analyze_worker_busy_seconds_sum",
+		"oct_conflict_analyze_worker_busy_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"categorytree/internal/assign"
 	"categorytree/internal/conflict"
 	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
 	"categorytree/internal/mis"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
@@ -115,6 +116,12 @@ func BuildContext(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts 
 		return nil, fmt.Errorf("ctcr: %w", err)
 	}
 	span, ctx := obs.StartSpanContext(ctx, "ctcr.build")
+	// Stamp the decision ledger (when one rides the context) with the build
+	// shape; the stages below fill in their records.
+	ledger.FromContext(ctx).SetMeta(ledger.Meta{
+		Variant: cfg.Variant.String(), Delta: cfg.Delta,
+		Sets: inst.N(), Universe: inst.Universe, Source: "full",
+	})
 	// Coarse stage progress (analyze → solve → construct); the stages report
 	// their own fine-grained progress inside.
 	const buildStages = 3
@@ -204,7 +211,7 @@ func Assemble(ctx context.Context, inst *oct.Instance, cfg oct.Config, analysis 
 		return rankOf[res.Selected[i]] < rankOf[res.Selected[j]]
 	})
 
-	res.Tree, res.CatOf, res.Selected = construct(inst, cfg, analysis, res.Selected, !opts.DisableAdmission)
+	res.Tree, res.CatOf, res.Selected = construct(inst, cfg, analysis, res.Selected, !opts.DisableAdmission, ledger.FromContext(ctx))
 
 	// Perfect-Recall and Exact never contest items under the standard
 	// bound of 1; with higher bounds, duplicates can exist and Algorithm 2
@@ -254,7 +261,7 @@ func Assemble(ctx context.Context, inst *oct.Instance, cfg oct.Config, analysis 
 // covers below their thresholds than the set itself is worth. The surviving
 // selection is returned (a subset of selected; identical for the Exact
 // variant, where descendants are always contained in their ancestors).
-func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, selected []oct.SetID, admission bool) (*tree.Tree, map[oct.SetID]*tree.Node, []oct.SetID) {
+func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, selected []oct.SetID, admission bool, led *ledger.Recorder) (*tree.Tree, map[oct.SetID]*tree.Node, []oct.SetID) {
 	t := tree.New(nil)
 	catOf := make(map[oct.SetID]*tree.Node, len(selected))
 	admitted := make(map[oct.SetID]bool, len(selected))
@@ -279,9 +286,18 @@ func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, se
 		above := sort.Search(len(partners), func(i int) bool {
 			return analysis.RankOf[partners[i]] >= qRank
 		})
+		// Placement provenance: the parent candidates are exactly the
+		// admitted-or-not partners the backwards scan inspects; the ledger
+		// record carries how many were considered and which one won.
+		scanned := 0
+		parentSet := oct.SetID(-1)
+		via := ledger.ViaRoot
 		for i := above - 1; i >= 0; i-- {
+			scanned++
 			if cand := partners[i]; admitted[cand] {
 				parent = catOf[cand]
+				parentSet = cand
+				via = ledger.ViaMustPartner
 				break
 			}
 		}
@@ -302,9 +318,13 @@ func construct(inst *oct.Instance, cfg oct.Config, analysis *conflict.Result, se
 				}
 			}
 			if brokenW >= inst.Weight(q) {
+				led.Add(ledger.Record{Kind: ledger.KindAdmissionDrop,
+					A: int32(q), B: int32(parentSet), X: brokenW, Y: inst.Weight(q)})
 				continue // dropping q preserves more covered weight
 			}
 		}
+		led.Add(ledger.Record{Kind: ledger.KindPlace, Via: via,
+			A: int32(q), B: int32(parentSet), C: int32(scanned), X: float64(qRank)})
 		c := t.AddCategory(parent, nil, inst.Sets[q].Label)
 		catOf[q] = c
 		setAt[c.ID] = q

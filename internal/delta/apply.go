@@ -6,6 +6,7 @@ import (
 
 	"categorytree/internal/conflict"
 	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
 )
@@ -55,11 +56,17 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyReport, error
 	e.stats.Applies++
 	e.stats.Mutations += len(muts)
 
+	led := ledger.FromContext(ctx)
 	if rep.DamageFrac > e.opts.damageBudget() {
 		// Bounded-damage fallback: too much of the catalog moved for
 		// surgical repair to beat the (parallel) full analyzer.
+		led.Add(ledger.Record{Kind: ledger.KindDeltaReseed,
+			A: int32(len(changedIDs)), X: rep.DamageFrac})
 		e.applySetChanges(muts, normalized)
-		if err := e.reseed(ctx); err != nil {
+		// The reseed's from-scratch analysis runs over the engine's padded
+		// slot space, whose IDs do not match the sealed ledger's compact
+		// build space — detach the recorder so it cannot record them.
+		if err := e.reseed(ledger.WithRecorder(ctx, nil)); err != nil {
 			return rep, err
 		}
 		rep.Reseeded = true
@@ -92,7 +99,10 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (ApplyReport, error
 	e.repairRanking(changedIDs)
 	for _, id := range changedIDs {
 		if e.live[id] {
-			rep.PairsScanned += e.repairPairs(id)
+			scanned := e.repairPairs(id)
+			rep.PairsScanned += scanned
+			led.Add(ledger.Record{Kind: ledger.KindDeltaRepair,
+				A: id, C: int32(scanned)})
 		}
 	}
 	if e.needTriples() {

@@ -10,6 +10,8 @@ import (
 	"categorytree/internal/ctcr"
 	"categorytree/internal/delta"
 	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
+	"categorytree/internal/ledger/replay"
 	"categorytree/internal/oct"
 	"categorytree/internal/sim"
 	"categorytree/internal/tree"
@@ -29,7 +31,11 @@ import (
 //  3. tree: Rebuild's tree ≡ the full build's tree under treediff.Equal
 //     (shape, items, labels, covers — node IDs and sibling order excluded),
 //     and a consumer replaying only the emitted edit scripts stays
-//     bit-identical to the engine's trees.
+//     bit-identical to the engine's trees;
+//  4. provenance: decision ledgers recorded on both the incremental rebuild
+//     and the from-scratch reference, replayed through replay.Build, each
+//     reproduce the reference tree — the ledger is a complete explanation,
+//     not a best-effort log.
 //
 // Identity (not approximation) holds for every variant because both sides
 // run the same deterministic construction code on provably equal inputs;
@@ -162,15 +168,19 @@ func checkConflictEqual(t *testing.T, ctx context.Context, e *delta.Engine, c co
 
 // checkBuildEqual rebuilds incrementally, runs the full pipeline on the
 // identical compact instance, and requires the same selection and the same
-// tree. It also replays the edit script into consumer (the patched copy a
-// downstream replica would hold) and checks it tracks the engine exactly.
+// tree. Both builds run with a ledger recorder attached, and both sealed
+// ledgers must replay (replay.Build) into the reference tree. It also
+// replays the edit script into consumer (the patched copy a downstream
+// replica would hold) and checks it tracks the engine exactly.
 func checkBuildEqual(t *testing.T, ctx context.Context, e *delta.Engine, c combo, consumer *tree.Tree, label string) *tree.Tree {
 	t.Helper()
-	b, err := e.Rebuild(ctx)
+	deltaRec := ledger.NewRecorder(0)
+	b, err := e.Rebuild(ledger.WithRecorder(ctx, deltaRec))
 	if err != nil {
 		t.Fatalf("%s: Rebuild: %v", label, err)
 	}
-	ref, err := ctcr.BuildContext(ctx, b.Instance, c.cfg, c.opts.CTCR)
+	refRec := ledger.NewRecorder(0)
+	ref, err := ctcr.BuildContext(ledger.WithRecorder(ctx, refRec), b.Instance, c.cfg, c.opts.CTCR)
 	if err != nil {
 		t.Fatalf("%s: reference build: %v", label, err)
 	}
@@ -179,6 +189,18 @@ func checkBuildEqual(t *testing.T, ctx context.Context, e *delta.Engine, c combo
 	}
 	if !reflect.DeepEqual(b.Result.Selected, ref.Selected) {
 		t.Fatalf("%s: selected sets diverged\n got %v\nwant %v", label, b.Result.Selected, ref.Selected)
+	}
+	// Replay equivalence: each ledger alone must carry enough decisions to
+	// reconstruct the tree. Checked before the reference tree's covers are
+	// re-stamped below — replay output is in compact IDs, like ref.Tree here.
+	for name, led := range map[string]*ledger.Ledger{"delta": deltaRec.Seal(), "reference": refRec.Seal()} {
+		rp, err := replay.Build(ctx, b.Instance, c.cfg, c.opts.CTCR, led)
+		if err != nil {
+			t.Fatalf("%s: replaying %s ledger: %v", label, name, err)
+		}
+		if !treediff.Equal(rp.Tree, ref.Tree) {
+			t.Fatalf("%s: %s ledger replay diverged from the reference tree", label, name)
+		}
 	}
 	// Stamp the reference tree's covers with stable IDs the same way the
 	// engine does, then demand full tree identity.

@@ -9,6 +9,7 @@ import (
 
 	"categorytree/internal/conflict"
 	"categorytree/internal/ctcr"
+	"categorytree/internal/ledger"
 	"categorytree/internal/mis"
 	"categorytree/internal/obs"
 	"categorytree/internal/oct"
@@ -60,8 +61,20 @@ func (e *Engine) Rebuild(ctx context.Context) (*Build, error) {
 	inst, stableOf, compactOf := e.compact()
 	b := &Build{Instance: inst, StableOf: stableOf}
 
+	// Decision-ledger capture: a delta rebuild records the same build-stage
+	// decisions a from-scratch build would — in the compact ID space of its
+	// instance, so a full-build ledger over the same catalog diffs cleanly
+	// against it — plus the delta-only shortcut records (cache hits, and
+	// the repairs/reseeds Apply stamped before this call).
+	led := ledger.FromContext(ctx)
+	capture := led.Enabled()
+	led.SetMeta(ledger.Meta{
+		Variant: e.cfg.Variant.String(), Delta: e.cfg.Delta,
+		Sets: inst.N(), Universe: inst.Universe, Source: "delta",
+	})
+
 	// Phase 1: MIS per component, memoized by fingerprint.
-	selectedStable, misTotals, err := e.solveComponents(ctx, b)
+	selectedStable, misTotals, err := e.solveComponents(ctx, b, compactOf)
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +94,14 @@ func (e *Engine) Rebuild(ctx context.Context) (*Build, error) {
 	sort.Ints(selectedCompact)
 
 	thin := e.thinAnalysis(compactOf, selectedStable)
+	if capture {
+		ranking := make([]int32, len(thin.Ranking))
+		for i, id := range thin.Ranking {
+			ranking[i] = int32(id)
+		}
+		led.SetRanking(ranking)
+		e.recordConflictEdges(led, inst, compactOf)
+	}
 	res, err := ctcr.Assemble(ctx, inst, e.cfg, thin, selectedCompact, e.opts.CTCR)
 	if err != nil {
 		return nil, err
@@ -139,7 +160,8 @@ func stampStableCovers(t *tree.Tree, stableOf []int) {
 // stable-ID order, reusing cached selections when a component's fingerprint
 // matches the previous rebuild, and returns the union selection (ascending
 // stable IDs) plus aggregate MIS accounting.
-func (e *Engine) solveComponents(ctx context.Context, b *Build) ([]int32, mis.Result, error) {
+func (e *Engine) solveComponents(ctx context.Context, b *Build, compactOf []int32) ([]int32, mis.Result, error) {
+	led := ledger.FromContext(ctx)
 	totals := mis.Result{Optimal: true}
 	nextCache := make(map[[2]uint64]cachedSolve, len(e.cache))
 	visited := make([]bool, len(e.sets))
@@ -162,6 +184,9 @@ func (e *Engine) solveComponents(ctx context.Context, b *Build) ([]int32, mis.Re
 			selected = append(selected, int32(seed))
 			totals.Weight += e.sets[seed].Weight
 			totals.Fixed++
+			// Mirrors a full build's kernel fix (B = -1, not a component).
+			led.Add(ledger.Record{Kind: ledger.KindKeep, Via: ledger.ViaKernel,
+				A: compactOf[seed], B: -1, X: e.sets[seed].Weight})
 			continue
 		}
 
@@ -197,6 +222,11 @@ func (e *Engine) solveComponents(ctx context.Context, b *Build) ([]int32, mis.Re
 			totals.Weight += c.weight
 			totals.Nodes += c.nodes
 			totals.Optimal = totals.Optimal && c.optimal
+			if led.Enabled() {
+				led.Add(ledger.Record{Kind: ledger.KindCacheHit,
+					A: int32(b.Components - 1), B: int32(len(members))})
+				e.recordComponent(led, compactOf, b.Components-1, members, c, ledger.ViaCache)
+			}
 			continue
 		}
 		b.CacheMisses++
@@ -209,6 +239,15 @@ func (e *Engine) solveComponents(ctx context.Context, b *Build) ([]int32, mis.Re
 		totals.Weight += c.weight
 		totals.Nodes += c.nodes
 		totals.Optimal = totals.Optimal && c.optimal
+		if led.Enabled() {
+			led.Add(ledger.Record{Kind: ledger.KindCacheMiss,
+				A: int32(b.Components - 1), B: int32(len(members))})
+			via := ledger.ViaHeuristic
+			if c.optimal {
+				via = ledger.ViaExact
+			}
+			e.recordComponent(led, compactOf, b.Components-1, members, c, via)
+		}
 	}
 	// Two-generation retention: only components that still exist survive,
 	// so the cache is bounded by the live component count.
@@ -246,7 +285,10 @@ func (e *Engine) solveComponent(ctx context.Context, members []int32) (cachedSol
 	if e.opts.CTCR.GreedyMISOnly {
 		misOpts.MaxExactComponent = -1
 	}
-	res, err := mis.SolveContext(ctx, h, misOpts)
+	// The component solver runs over local vertex numbering; detach any
+	// ledger recorder so its records cannot leak local IDs — the caller
+	// records the solve in the compact build space instead.
+	res, err := mis.SolveContext(ledger.WithRecorder(ctx, nil), h, misOpts)
 	if err != nil {
 		return cachedSolve{}, err
 	}
@@ -359,6 +401,67 @@ func deltaKey(n *tree.Node) (int64, bool) {
 		return miscKey, true
 	}
 	return 0, false
+}
+
+// recordComponent emits keep/trim records for one component of the delta
+// MIS pass, translated into the compact build space. The deciding neighbor
+// of a trimmed set is its first selected neighbor in the maintained
+// adjacency; the incumbent weight is the (possibly cached) component
+// solution weight.
+//
+//oct:coldpath ledger capture; runs only with a recorder attached
+func (e *Engine) recordComponent(led *ledger.Recorder, compactOf []int32, compIdx int, members []int32, c cachedSolve, via ledger.Via) {
+	inSol := make(map[int32]bool, len(c.selected))
+	for _, v := range c.selected {
+		inSol[v] = true
+	}
+	for _, v := range members {
+		if inSol[v] {
+			led.Add(ledger.Record{Kind: ledger.KindKeep, Via: via,
+				A: compactOf[v], B: int32(compIdx), X: e.sets[v].Weight, Y: c.weight})
+			continue
+		}
+		nb := int32(-1)
+		for _, w := range e.adj[v] {
+			if inSol[w] {
+				nb = compactOf[w]
+				break
+			}
+		}
+		led.Add(ledger.Record{Kind: ledger.KindTrim, Via: via,
+			A: compactOf[v], B: nb, C: int32(compIdx), X: e.sets[v].Weight, Y: c.weight})
+	}
+}
+
+// recordConflictEdges materializes the maintained conflict state as ledger
+// records in the compact build space, with freshly recomputed overlap and
+// margin witnesses — the same records a from-scratch analysis of the
+// compact instance would emit (modulo ordering), which is what makes full
+// and delta ledgers diffable.
+//
+//oct:coldpath ledger capture; runs only with a recorder attached
+func (e *Engine) recordConflictEdges(led *ledger.Recorder, inst *oct.Instance, compactOf []int32) {
+	for id, l := range e.live {
+		if !l {
+			continue
+		}
+		for _, b := range e.adj[id] {
+			if b > int32(id) {
+				conflict.RecordPairWitness(led, inst, e.cfg,
+					oct.SetID(compactOf[id]), oct.SetID(compactOf[b]), false)
+			}
+		}
+		for _, b := range e.must[id] {
+			if b > int32(id) {
+				conflict.RecordPairWitness(led, inst, e.cfg,
+					oct.SetID(compactOf[id]), oct.SetID(compactOf[b]), true)
+			}
+		}
+	}
+	for t := range e.tris {
+		led.Add(ledger.Record{Kind: ledger.KindConflict3,
+			A: compactOf[t[0]], B: compactOf[t[1]], C: compactOf[t[2]]})
+	}
 }
 
 // ConflictResult materializes the maintained conflict state as a

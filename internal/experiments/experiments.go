@@ -825,6 +825,7 @@ var Registry = map[string]func(context.Context, Options) (*Result, error){
 	"churn":     Churn,
 	"facet":     Facet,
 	"fig8a":     Fig8a,
+	"ledger":    LedgerOverhead,
 	"fig8b":     Fig8b,
 	"fig8c":     Fig8c,
 	"fig8d":     Fig8d,

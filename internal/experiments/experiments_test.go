@@ -15,7 +15,7 @@ func tinyOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "churn", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "merge", "scale", "serve", "table1", "traintest"}
+	want := []string{"ablation", "churn", "cohesion", "facet", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h", "ledger", "merge", "scale", "serve", "table1", "traintest"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

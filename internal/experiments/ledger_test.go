@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLedgerOverheadRuns drives the ledger-overhead experiment at CI size
+// and checks the accounting: the recorded build produced a non-trivial
+// ledger, the size and overhead rows render, and the CI-scale run reports
+// rather than gates.
+func TestLedgerOverheadRuns(t *testing.T) {
+	res, err := LedgerOverhead(context.Background(), Options{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(metric string) string {
+		for _, r := range res.Rows {
+			if r[0] == metric {
+				return r[1]
+			}
+		}
+		t.Fatalf("missing row %q in %v", metric, res.Rows)
+		return ""
+	}
+	sets, _ := strconv.Atoi(row("sets"))
+	if sets != 800 {
+		t.Fatalf("sets = %d, want the 800 floor at scale 0.01", sets)
+	}
+	records, _ := strconv.Atoi(row("ledger records"))
+	if records < sets {
+		// Every set gets at least a keep or trim verdict, so the ledger
+		// can never be smaller than the catalog.
+		t.Fatalf("ledger records = %d for %d sets", records, sets)
+	}
+	if !strings.HasSuffix(row("ledger JSON size"), "bytes") {
+		t.Fatalf("ledger JSON size = %q", row("ledger JSON size"))
+	}
+	if !strings.HasSuffix(row("ledger overhead"), "%") {
+		t.Fatalf("ledger overhead = %q", row("ledger overhead"))
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "-scale 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CI-sized run should say how to enforce the gate: %v", res.Notes)
+	}
+}
+
+func TestLedgerOverheadHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LedgerOverhead(ctx, Options{Scale: 0.01, Seed: 3}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package ledger
+
+import "fmt"
+
+// Describe renders one record as a human-readable decision line. It is the
+// shared vocabulary of octexplain and the /explain endpoints, so traces read
+// the same in the CLI and over HTTP.
+func (r Record) Describe() string {
+	switch r.Kind {
+	case KindConflict2:
+		return fmt.Sprintf("2-conflict {%d, %d}: overlap %d items; together misses by %.3g, separately by %.3g",
+			r.A, r.B, r.C, r.X, r.Y)
+	case KindMustTogether:
+		return fmt.Sprintf("must-together {%d, %d}: overlap %d items; together passes with slack %.3g, separately misses by %.3g",
+			r.A, r.B, r.C, r.X, r.Y)
+	case KindConflict3:
+		return fmt.Sprintf("3-conflict {%d, %d, %d}", r.A, r.B, r.C)
+	case KindKeep:
+		where := fmt.Sprintf("component %d", r.B)
+		if r.B < 0 {
+			where = "kernel phase"
+		}
+		return fmt.Sprintf("keep set %d (weight %.3g) in %s via %s; incumbent %.3g", r.A, r.X, where, r.Via, r.Y)
+	case KindTrim:
+		by := fmt.Sprintf("blocked by kept set %d", r.B)
+		if r.B < 0 {
+			by = "no single deciding neighbor"
+		}
+		return fmt.Sprintf("trim set %d (weight %.3g) in component %d via %s; %s; incumbent %.3g",
+			r.A, r.X, r.C, r.Via, by, r.Y)
+	case KindPlace:
+		if r.B < 0 {
+			return fmt.Sprintf("place set %d (rank %d) at root via %s; %d candidates scanned", r.A, int(r.X), r.Via, r.C)
+		}
+		return fmt.Sprintf("place set %d (rank %d) under set %d via %s; %d candidates scanned", r.A, int(r.X), r.B, r.Via, r.C)
+	case KindAdmissionDrop:
+		return fmt.Sprintf("admission guard drops set %d under candidate parent %d: broken ancestor weight %.3g ≥ own weight %.3g",
+			r.A, r.B, r.X, r.Y)
+	case KindCover:
+		return fmt.Sprintf("cover set %d with %d duplicate items at gain %.3g", r.A, r.B, r.X)
+	case KindLeftovers:
+		return fmt.Sprintf("leftover sweep: %d placements over %d iterations", r.A, r.B)
+	case KindDeltaRepair:
+		return fmt.Sprintf("delta repair around stable set %d: %d candidate pairs rescanned", r.A, r.C)
+	case KindDeltaReseed:
+		return fmt.Sprintf("delta reseed: %d changed sets, damage fraction %.3g over budget", r.A, r.X)
+	case KindCacheHit:
+		return fmt.Sprintf("component %d (%d members): fingerprint cache hit, solution reused", r.A, r.B)
+	case KindCacheMiss:
+		return fmt.Sprintf("component %d (%d members): fingerprint cache miss, solved fresh", r.A, r.B)
+	}
+	return fmt.Sprintf("unknown record kind %d", r.Kind)
+}

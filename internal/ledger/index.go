@@ -1,0 +1,89 @@
+package ledger
+
+// Index is a per-set lookup over a sealed ledger, built once per publish so
+// the /explain endpoints answer off immutable state with no scan per
+// request.
+type Index struct {
+	l       *Ledger
+	bySet   map[int32][]int32 // build-stage set ID -> record indices, in order
+	compact map[int32]int32   // stable -> compact, when the ledger has a table
+}
+
+// NewIndex builds the per-set index. Delta-stage records (which use stable
+// IDs) are indexed under their compact translation when the set is part of
+// the build.
+func NewIndex(l *Ledger) *Index {
+	ix := &Index{l: l, bySet: make(map[int32][]int32)}
+	if l == nil {
+		return ix
+	}
+	if l.StableOf != nil {
+		ix.compact = make(map[int32]int32, len(l.StableOf))
+		for c, s := range l.StableOf {
+			ix.compact[s] = int32(c)
+		}
+	}
+	add := func(id int32, i int) {
+		if id >= 0 {
+			ix.bySet[id] = append(ix.bySet[id], int32(i))
+		}
+	}
+	for i, r := range l.Records {
+		switch r.Kind {
+		case KindConflict2, KindMustTogether:
+			add(r.A, i)
+			add(r.B, i)
+		case KindConflict3:
+			add(r.A, i)
+			add(r.B, i)
+			add(r.C, i)
+		case KindKeep, KindCover:
+			add(r.A, i)
+		case KindTrim, KindPlace, KindAdmissionDrop:
+			add(r.A, i)
+			add(r.B, i)
+		case KindDeltaRepair:
+			// Delta-stage records name stable IDs; fold them into the
+			// compact space so one lookup sees a set's whole story.
+			add(ix.toCompact(r.A), i)
+		}
+	}
+	return ix
+}
+
+// toCompact maps a stable ID into the build-stage space (identity when the
+// ledger has no translation table; -1 when the set is not in the build).
+func (ix *Index) toCompact(stable int32) int32 {
+	if ix.compact == nil {
+		if ix.l != nil && ix.l.Meta.Sets > 0 && int(stable) >= ix.l.Meta.Sets {
+			return -1
+		}
+		return stable
+	}
+	c, ok := ix.compact[stable]
+	if !ok {
+		return -1
+	}
+	return c
+}
+
+// ForSet returns the records mentioning the given catalog set ID (stable ID
+// for delta builds, instance index otherwise), in recording order.
+func (ix *Index) ForSet(id int32) []Record {
+	c := ix.toCompact(id)
+	if c < 0 {
+		return nil
+	}
+	idxs := ix.bySet[c]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Record, len(idxs))
+	for i, ri := range idxs {
+		out[i] = ix.l.Records[ri]
+	}
+	return out
+}
+
+// Known reports whether the catalog set ID appears in the build at all.
+func (ix *Index) Known(id int32) bool { return ix.toCompact(id) >= 0 }

@@ -1,0 +1,57 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// recordJSON is the wire shape of a Record: kinds and vias travel as their
+// stable names so dumps stay readable and diffable, numeric fields use
+// short keys and omit zeros to keep large dumps compact.
+type recordJSON struct {
+	Kind string  `json:"k"`
+	Via  string  `json:"v,omitempty"`
+	A    int32   `json:"a,omitempty"`
+	B    int32   `json:"b,omitempty"`
+	C    int32   `json:"c,omitempty"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+}
+
+// MarshalJSON encodes the record with symbolic kind/via names.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recordJSON{
+		Kind: r.Kind.String(), Via: r.Via.String(),
+		A: r.A, B: r.B, C: r.C, X: r.X, Y: r.Y,
+	})
+}
+
+// UnmarshalJSON decodes the symbolic wire form.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var j recordJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	k := ParseKind(j.Kind)
+	if k == KindNone {
+		return fmt.Errorf("ledger: unknown record kind %q", j.Kind)
+	}
+	*r = Record{Kind: k, Via: ParseVia(j.Via), A: j.A, B: j.B, C: j.C, X: j.X, Y: j.Y}
+	return nil
+}
+
+// Write serializes the ledger as one JSON document.
+func (l *Ledger) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l)
+}
+
+// Read parses a ledger previously written with Write.
+func Read(r io.Reader) (*Ledger, error) {
+	var l Ledger
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("ledger: decode: %w", err)
+	}
+	return &l, nil
+}

@@ -1,0 +1,76 @@
+// Package replay reconstructs a category tree from a sealed decision
+// ledger. A ledger stores the three inputs the (deterministic) construction
+// stage consumes — the ranking, the must-together structure, and the MIS
+// selection — so re-running ctcr.Assemble over them reproduces the recorded
+// build's tree exactly. The differential harness pins this equivalence for
+// both full and delta builds; it is the contract that makes a ledger an
+// explanation rather than a log: every decision that shaped the tree is in
+// the ledger, or replay would diverge.
+//
+// The package sits outside internal/ledger because replay needs ctcr, and
+// the build pipeline (which ledger must stay importable from) is below it.
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"categorytree/internal/conflict"
+	"categorytree/internal/ctcr"
+	"categorytree/internal/ledger"
+	"categorytree/internal/oct"
+)
+
+// Build re-runs the construction stage from the ledger's recorded
+// decisions over inst (the instance the ledger's build saw: the original
+// instance for a full build, the compact live instance for a delta
+// rebuild). The returned result's tree matches the recorded build's tree
+// node for node; for delta builds the covers are in compact IDs (the
+// recorded build re-stamps stable IDs afterwards).
+func Build(ctx context.Context, inst *oct.Instance, cfg oct.Config, opts ctcr.Options, l *ledger.Ledger) (*ctcr.Result, error) {
+	if l == nil {
+		return nil, fmt.Errorf("replay: nil ledger")
+	}
+	if l.Meta.Truncated {
+		return nil, fmt.Errorf("replay: ledger truncated (%d records dropped); decisions are incomplete", l.Meta.Dropped)
+	}
+	if len(l.Ranking) != inst.N() {
+		return nil, fmt.Errorf("replay: ledger ranks %d sets, instance has %d", len(l.Ranking), inst.N())
+	}
+
+	ranking := make([]oct.SetID, len(l.Ranking))
+	for i, id := range l.Ranking {
+		if int(id) < 0 || int(id) >= inst.N() {
+			return nil, fmt.Errorf("replay: ranked set %d out of range", id)
+		}
+		ranking[i] = oct.SetID(id)
+	}
+
+	var conf2, mustPairs [][2]oct.SetID
+	var conf3 [][3]oct.SetID
+	var selected []int
+	for _, r := range l.Records {
+		switch r.Kind {
+		case ledger.KindConflict2:
+			conf2 = append(conf2, [2]oct.SetID{oct.SetID(r.A), oct.SetID(r.B)})
+		case ledger.KindMustTogether:
+			mustPairs = append(mustPairs, [2]oct.SetID{oct.SetID(r.A), oct.SetID(r.B)})
+		case ledger.KindConflict3:
+			conf3 = append(conf3, [3]oct.SetID{oct.SetID(r.A), oct.SetID(r.B), oct.SetID(r.C)})
+		case ledger.KindKeep:
+			if int(r.A) < 0 || int(r.A) >= inst.N() {
+				return nil, fmt.Errorf("replay: kept set %d out of range", r.A)
+			}
+			selected = append(selected, int(r.A))
+		}
+	}
+
+	analysis := conflict.NewResult(ranking, conf2, conf3, mustPairs)
+	// Detach any live recorder: a replay explains a build, it is not one.
+	ctx = ledger.WithRecorder(ctx, nil)
+	res, err := ctcr.Assemble(ctx, inst, cfg, analysis, selected, opts)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return res, nil
+}

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
+	"strings"
 
 	"categorytree/internal/lint"
 )
@@ -29,6 +31,11 @@ import (
 //     through the server's instrument wrapper — the wrapper is what records
 //     the per-endpoint request/error counters and latency histogram, so a
 //     raw registration is an endpoint invisible to /metrics;
+//   - in cmd/octserve, handlers registered under a mutating method pattern
+//     ("POST /x", "PUT /x", ...) must additionally open a request span via
+//     obs.StartSpanContext — mutations are exactly the requests whose
+//     tail-sampled traces get pulled during an incident, and a spanless
+//     write handler retains an empty trace;
 //   - in internal/serve, every read-path handler (the exact
 //     func(http.ResponseWriter, *http.Request) shape) must open a request
 //     span via obs.StartSpanContext — the span is what the flight recorder
@@ -74,6 +81,21 @@ func runObsDiscipline(pass *lint.Pass) {
 	info := pass.Pkg.Info
 	pipelineOnly := lint.PathMatcher(pipelinePkgs...)(pass.Pkg.Path)
 	servePkg := lint.PathMatcher("internal/serve")(pass.Pkg.Path)
+
+	// Package-wide FuncDecl index, so a registration in one file can resolve
+	// the handler method declared in another.
+	declByObj := map[types.Object]*ast.FuncDecl{}
+	if !pipelineOnly && !servePkg {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+					if obj := info.Defs[fn.Name]; obj != nil {
+						declByObj[obj] = fn
+					}
+				}
+			}
+		}
+	}
 	for _, file := range pass.Pkg.Files {
 		// Bare prints: everywhere the analyzer runs.
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -101,8 +123,10 @@ func runObsDiscipline(pass *lint.Pass) {
 			continue
 		}
 		if !pipelineOnly {
-			// cmd/octserve: handler registrations must be instrument-wrapped.
+			// cmd/octserve: handler registrations must be instrument-wrapped,
+			// and mutating routes must open a request span.
 			checkHandlerInstrumentation(pass, file)
+			checkMutatingHandlerSpans(pass, file, declByObj)
 			continue
 		}
 		// Global-registry accessors: package-level obs.X only (methods named
@@ -213,23 +237,94 @@ func checkHandlerSpans(pass *lint.Pass, file *ast.File) {
 		if !ok || !isHandlerSig(sig) {
 			continue
 		}
-		startsSpan := false
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if c := calleeObj(info, call); c != nil && isPkgFunc(c, "internal/obs", "StartSpanContext") {
-				startsSpan = true
-				return false
-			}
-			return true
-		})
-		if !startsSpan {
+		if !callsStartSpanContext(info, fn.Body) {
 			pass.Reportf(fn.Name.Pos(),
 				"read-path handler %s opens no request span; call obs.StartSpanContext so tail-sampled requests retain a trace", fn.Name.Name)
 		}
 	}
+}
+
+// callsStartSpanContext reports whether body contains a call to
+// obs.StartSpanContext.
+func callsStartSpanContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c := calleeObj(info, call); c != nil && isPkgFunc(c, "internal/obs", "StartSpanContext") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mutatingMethods are the HTTP methods whose method-prefixed mux patterns
+// mark a write route.
+var mutatingMethods = map[string]bool{
+	"POST": true, "PUT": true, "DELETE": true, "PATCH": true,
+}
+
+// checkMutatingHandlerSpans flags mux registrations of mutating routes whose
+// handler body never opens a request span. The handler is resolved through
+// the instrument wrapper when present, across files; function literals are
+// inspected in place. Handlers the resolver cannot see (externally
+// constructed http.Handler values, say) are left alone — the check aims at
+// the server's own write handlers, which are always plain methods.
+func checkMutatingHandlerSpans(pass *lint.Pass, file *ast.File, decls map[types.Object]*ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "HandleFunc" && sel.Sel.Name != "Handle") {
+			return true
+		}
+		if !isServeMuxMethod(info, sel) {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		pat, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		method, _, found := strings.Cut(pat, " ")
+		if !found || !mutatingMethods[method] {
+			return true
+		}
+		h := ast.Unparen(call.Args[1])
+		if wrap, ok := h.(*ast.CallExpr); ok && isInstrumentCall(wrap) && len(wrap.Args) == 2 {
+			h = ast.Unparen(wrap.Args[1])
+		}
+		var body *ast.BlockStmt
+		switch hx := h.(type) {
+		case *ast.FuncLit:
+			body = hx.Body
+		case *ast.SelectorExpr:
+			if fn := decls[info.Uses[hx.Sel]]; fn != nil {
+				body = fn.Body
+			}
+		case *ast.Ident:
+			if fn := decls[info.Uses[hx]]; fn != nil {
+				body = fn.Body
+			}
+		}
+		if body == nil || callsStartSpanContext(info, body) {
+			return true
+		}
+		pass.Reportf(call.Args[1].Pos(),
+			"mutating handler for %s opens no request span; call obs.StartSpanContext so tail-sampled writes retain a trace",
+			routePattern(call.Args[0]))
+		return true
+	})
 }
 
 // isHandlerSig reports whether sig is exactly

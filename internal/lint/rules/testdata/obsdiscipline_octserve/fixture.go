@@ -63,6 +63,30 @@ func (s *fakeServer) routes() {
 	rt.HandleFunc("/other", s.handleRaw)
 }
 
+// handleMutate opens a request span; handleMutateSpanless does not. Only
+// mutating (method-prefixed) registrations of the latter are findings.
+func (s *fakeServer) handleMutate(w http.ResponseWriter, r *http.Request) {
+	sp, _ := obs.StartSpanContext(r.Context(), "write.mutate")
+	defer sp.End()
+}
+
+func (s *fakeServer) handleMutateSpanless(w http.ResponseWriter, r *http.Request) {}
+
+func (s *fakeServer) writeRoutes() {
+	// Spanned write handler: fine.
+	s.mux.HandleFunc("POST /catalog/delta", s.instrument("catalog_delta", s.handleMutate))
+
+	// Spanless write handlers are findings, wrapped or not.
+	s.mux.HandleFunc("POST /catalog/raw", s.instrument("catalog_raw", s.handleMutateSpanless))                 // want "mutating handler .* opens no request span"
+	s.mux.HandleFunc("DELETE /catalog/raw", s.handleMutateSpanless)                                            // want "registered without the instrument wrapper" "mutating handler .* opens no request span"
+	s.mux.HandleFunc("PUT /catalog/lit", s.instrument("lit", func(w http.ResponseWriter, r *http.Request) {})) // want "mutating handler .* opens no request span"
+
+	// GET and method-less patterns stay exempt: reads are covered by the
+	// internal/serve span check on the handlers themselves.
+	s.mux.HandleFunc("GET /catalog", s.instrument("catalog", s.handleMutateSpanless))
+	s.mux.HandleFunc("/legacy", s.instrument("legacy", s.handleMutateSpanless))
+}
+
 // fakeRouter is not an http.ServeMux; the rule must leave it alone.
 type fakeRouter struct{}
 

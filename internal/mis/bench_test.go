@@ -66,7 +66,7 @@ func BenchmarkKernelize(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		kernelize(g)
+		kernelize(g, nil)
 	}
 }
 

@@ -246,7 +246,7 @@ func TestKernelizeSafety(t *testing.T) {
 		n := 8 + rng.Intn(7)
 		g := randomHypergraph(rng.Split(int64(trial)), n, 0.3, 0.3, true)
 		want := bruteForce(g)
-		fixedIn, undecided := kernelize(g)
+		fixedIn, undecided := kernelize(g, nil)
 		// Re-solve the undecided part by brute force and confirm the
 		// kernelization lost nothing.
 		sub, orig := g.Induced(undecided)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 )
 
@@ -129,6 +130,15 @@ func SolvePartitionContext(ctx context.Context, g *Hypergraph, parts int, opts O
 	// Extend to global maximality and polish.
 	best = localSearch(g, best, opts.LocalSearchRounds)
 	sort.Ints(best)
+	// The partition solver has no per-component story to tell, but the
+	// ledger still needs the final selection for replay: one keep record
+	// per chosen vertex, stamped heuristic.
+	if led := ledger.FromContext(ctx); led.Enabled() {
+		for _, v := range best {
+			led.Add(ledger.Record{Kind: ledger.KindKeep, Via: ledger.ViaHeuristic,
+				A: int32(v), B: -1, X: g.weights[v]})
+		}
+	}
 	sp.Counter("vertices").Add(int64(g.n))
 	sp.Counter("parts").Add(int64(parts))
 	sp.Counter("nodes.expanded").Add(totalNodes)

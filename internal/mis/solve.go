@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 )
 
@@ -84,10 +85,26 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 
 	res := Result{Optimal: true}
 
+	// Decision-ledger capture (opt-in): every vertex the solve touches gets
+	// one keep or trim record, stamped with how it was decided. The witness
+	// arrays exist only while a recorder is attached.
+	led := ledger.FromContext(ctx)
+	capture := led.Enabled()
+	var decidedBy []int32
+	if capture {
+		decidedBy = make([]int32, g.n)
+		for i := range decidedBy {
+			decidedBy[i] = -1
+		}
+	}
+
 	// Kernelization decides some vertices outright.
-	fixedIn, undecided := kernelize(g)
+	fixedIn, undecided := kernelize(g, decidedBy)
 	res.Fixed = g.n - len(undecided)
 	res.Set = append(res.Set, fixedIn...)
+	if capture {
+		recordKernel(led, g, fixedIn, undecided, decidedBy)
+	}
 
 	if len(undecided) > 0 {
 		sub, orig := g.Induced(undecided)
@@ -102,17 +119,23 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 			res.Components++
 			cg, corig := sub.Induced(comp)
 			var sol []int
+			via := ledger.ViaHeuristic
 			if !heuristicOnly && cg.N() <= opts.MaxExactComponent {
 				warm := localSearch(cg, solveGreedy(cg), opts.LocalSearchRounds)
 				exact, optimal, nodes := solveExactN(cg, opts.NodeBudget, warm, done)
 				sol = exact
 				res.Nodes += nodes
-				if !optimal {
+				if optimal {
+					via = ledger.ViaExact
+				} else {
 					res.Optimal = false
 				}
 			} else {
 				sol = localSearch(cg, solveGreedy(cg), opts.LocalSearchRounds)
 				res.Optimal = false
+			}
+			if capture {
+				recordComponent(led, cg, corig, orig, res.Components-1, sol, via)
 			}
 			for _, v := range sol {
 				res.Set = append(res.Set, orig[corig[v]])
@@ -139,6 +162,62 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 	return res, nil
 }
 
+// recordKernel emits keep records for kernel-fixed vertices and trim
+// records (with the reduction's deciding neighbor) for kernel-excluded
+// ones. The kernel phase has no component index (-1): reductions fire on
+// the full graph before the component split.
+//
+//oct:coldpath ledger capture; runs only with a recorder attached
+func recordKernel(led *ledger.Recorder, g *Hypergraph, fixedIn, undecided []int, decidedBy []int32) {
+	open := make([]bool, g.n)
+	for _, v := range fixedIn {
+		led.Add(ledger.Record{Kind: ledger.KindKeep, Via: ledger.ViaKernel,
+			A: int32(v), B: -1, X: g.weights[v]})
+		open[v] = true
+	}
+	for _, v := range undecided {
+		open[v] = true
+	}
+	for v := 0; v < g.n; v++ {
+		if !open[v] {
+			led.Add(ledger.Record{Kind: ledger.KindTrim, Via: ledger.ViaKernel,
+				A: int32(v), B: decidedBy[v], C: -1, X: g.weights[v]})
+		}
+	}
+}
+
+// recordComponent emits one keep/trim record per vertex of a solved
+// component, translated to the graph-global ID space. The deciding neighbor
+// of a trimmed vertex is its first kept neighbor (the set that blocks it in
+// the solution); the incumbent weight is the component solution's weight at
+// the decision point.
+//
+//oct:coldpath ledger capture; runs only with a recorder attached
+func recordComponent(led *ledger.Recorder, cg *Hypergraph, corig, orig []int, compIdx int, sol []int, via ledger.Via) {
+	inSol := make([]bool, cg.n)
+	for _, v := range sol {
+		inSol[v] = true
+	}
+	bound := cg.SetWeight(sol)
+	for v := 0; v < cg.n; v++ {
+		global := int32(orig[corig[v]])
+		if inSol[v] {
+			led.Add(ledger.Record{Kind: ledger.KindKeep, Via: via,
+				A: global, B: int32(compIdx), X: cg.weights[v], Y: bound})
+			continue
+		}
+		nb := int32(-1)
+		for _, u := range cg.adj[v] {
+			if inSol[u] {
+				nb = int32(orig[corig[u]])
+				break
+			}
+		}
+		led.Add(ledger.Record{Kind: ledger.KindTrim, Via: via,
+			A: global, B: nb, C: int32(compIdx), X: cg.weights[v], Y: bound})
+	}
+}
+
 // kernelize applies weighted reductions that are safe on vertices untouched
 // by 3-edges:
 //
@@ -151,7 +230,11 @@ func SolveContext(ctx context.Context, g *Hypergraph, opts Options) (Result, err
 // It returns the vertices fixed into the solution and the vertices left for
 // search. Vertices incident to any 3-edge are never touched: the reductions'
 // exchange arguments assume all constraints of v are visible in N(v).
-func kernelize(g *Hypergraph) (fixedIn []int, undecided []int) {
+//
+// decidedBy, when non-nil (ledger capture), receives per excluded vertex
+// the neighbor whose reduction excluded it: the fixed-in vertex for
+// neighborhood removal, the dominating neighbor for domination.
+func kernelize(g *Hypergraph, decidedBy []int32) (fixedIn []int, undecided []int) {
 	state := make([]int8, g.n)
 	inTriangle := make([]bool, g.n)
 	for _, t := range g.tris {
@@ -197,6 +280,9 @@ func kernelize(g *Hypergraph) (fixedIn []int, undecided []int) {
 				state[v] = included
 				for _, u := range nbrs {
 					state[u] = excluded
+					if decidedBy != nil {
+						decidedBy[u] = int32(v)
+					}
 				}
 				changed = true
 				continue
@@ -207,6 +293,9 @@ func kernelize(g *Hypergraph) (fixedIn []int, undecided []int) {
 			for _, u := range nbrs {
 				if g.weights[u] >= g.weights[v] && closedSubset(g, state, int(u), v) {
 					state[v] = excluded
+					if decidedBy != nil {
+						decidedBy[v] = u
+					}
 					changed = true
 					break
 				}

@@ -66,6 +66,14 @@ func (s Span) Gauge(suffix string) *Gauge {
 	return s.reg.Gauge(s.name + "/" + suffix)
 }
 
+// Histogram returns the histogram <span name>/<suffix>.
+func (s Span) Histogram(suffix string) *Histogram {
+	if s.reg == nil {
+		return newHistogram()
+	}
+	return s.reg.Histogram(s.name + "/" + suffix)
+}
+
 // Timer returns the timer <span name>/<suffix>.
 func (s Span) Timer(suffix string) *Timer {
 	if s.reg == nil {

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"categorytree/internal/ledger"
+	"categorytree/internal/obs"
+	"categorytree/internal/obs/flight"
+)
+
+// RecordView is one ledger record in an /explain response: the packed fields
+// (set IDs translated to catalog IDs) plus the human rendering.
+type RecordView struct {
+	Kind string  `json:"kind"`
+	Via  string  `json:"via,omitempty"`
+	A    int32   `json:"a"`
+	B    int32   `json:"b,omitempty"`
+	C    int32   `json:"c,omitempty"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+	Text string  `json:"text"`
+}
+
+func recordViews(l *ledger.Ledger, recs []ledger.Record) []RecordView {
+	out := make([]RecordView, len(recs))
+	for i, r := range recs {
+		cr := l.ToCatalog(r)
+		out[i] = RecordView{
+			Kind: cr.Kind.String(),
+			A:    cr.A, B: cr.B, C: cr.C, X: cr.X, Y: cr.Y,
+			Text: cr.Describe(),
+		}
+		if cr.Via != ledger.ViaNone {
+			out[i].Via = cr.Via.String()
+		}
+	}
+	return out
+}
+
+// ExplainSetResult is the /explain/set/{id} response shape.
+type ExplainSetResult struct {
+	SnapshotVersion uint64       `json:"snapshot_version"`
+	Set             int          `json:"set"`
+	Source          string       `json:"source"`
+	Variant         string       `json:"variant"`
+	Delta           float64      `json:"delta"`
+	Records         []RecordView `json:"records"`
+}
+
+// ExplainCategoryResult is the /explain/category/{id} response shape: the
+// decision trail of every input set the category covers.
+type ExplainCategoryResult struct {
+	SnapshotVersion uint64       `json:"snapshot_version"`
+	Category        int          `json:"category"`
+	Label           string       `json:"label,omitempty"`
+	Covers          []int        `json:"covers"`
+	Source          string       `json:"source"`
+	Variant         string       `json:"variant"`
+	Delta           float64      `json:"delta"`
+	Records         []RecordView `json:"records"`
+}
+
+// provenance loads the current snapshot and its explain index, writing the
+// 404 the /explain contract promises when either is missing: before the
+// first publish there is no build to explain, and a build that ran without a
+// ledger left no decisions behind.
+func (rd *Reader) provenance(w http.ResponseWriter, fq *flight.Request) (*Snapshot, *ledger.Index, bool) {
+	snap := rd.pub.Current()
+	if snap == nil {
+		http.Error(w, "serve: no snapshot published", http.StatusNotFound)
+		return nil, nil, false
+	}
+	fq.SetSnapshotVersion(snap.Version)
+	if snap.Provenance == nil {
+		http.Error(w, "serve: snapshot has no provenance (build ran without a decision ledger)", http.StatusNotFound)
+		return nil, nil, false
+	}
+	return snap, snap.Explain(), true
+}
+
+// ExplainSet is GET /explain/set/{id}: every recorded decision mentioning
+// the given input set — its conflict edges with witness margins, whether the
+// MIS kept or trimmed it and why, where construction placed it. IDs are
+// catalog IDs: instance indices for full builds, engine-stable IDs once the
+// catalog has churned through /catalog/delta.
+func (rd *Reader) ExplainSet(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := obs.StartSpanContext(r.Context(), "read.explain_set")
+	defer sp.End()
+	fq := flight.FromContext(ctx)
+	snap, ix, ok := rd.provenance(w, fq)
+	if !ok {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		http.Error(w, "serve: set id must be a non-negative integer", http.StatusBadRequest)
+		return
+	}
+	if !ix.Known(int32(id)) {
+		http.Error(w, "serve: set not part of the explained build", http.StatusNotFound)
+		return
+	}
+	l := snap.Provenance
+	recs := ix.ForSet(int32(id))
+	sp.Attr("records", len(recs))
+	writeExplain(w, ExplainSetResult{
+		SnapshotVersion: snap.Version,
+		Set:             id,
+		Source:          l.Meta.Source,
+		Variant:         l.Meta.Variant,
+		Delta:           l.Meta.Delta,
+		Records:         recordViews(l, recs),
+	})
+}
+
+// ExplainCategory is GET /explain/category/{id}: the decision trail behind
+// one served category — the records of every input set it covers, deduped
+// and in recording order, so the response reads as "why this node exists,
+// why these sets merged into it, and why it hangs where it does".
+func (rd *Reader) ExplainCategory(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := obs.StartSpanContext(r.Context(), "read.explain_category")
+	defer sp.End()
+	fq := flight.FromContext(ctx)
+	snap, ix, ok := rd.provenance(w, fq)
+	if !ok {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "serve: category id must be an integer", http.StatusBadRequest)
+		return
+	}
+	node := snap.Tree.Node(id)
+	if node == nil {
+		http.Error(w, "serve: no such category", http.StatusNotFound)
+		return
+	}
+	l := snap.Provenance
+	res := ExplainCategoryResult{
+		SnapshotVersion: snap.Version,
+		Category:        id,
+		Label:           node.Label,
+		Covers:          []int{},
+		Source:          l.Meta.Source,
+		Variant:         l.Meta.Variant,
+		Delta:           l.Meta.Delta,
+	}
+	// A category's story is the union of its covers' stories. Records shared
+	// by two covers (their mutual must-together edge, say) appear once.
+	seen := make(map[ledger.Record]bool)
+	var recs []ledger.Record
+	for _, cv := range node.Covers {
+		res.Covers = append(res.Covers, int(cv))
+		for _, rec := range ix.ForSet(int32(cv)) {
+			if !seen[rec] {
+				seen[rec] = true
+				recs = append(recs, rec)
+			}
+		}
+	}
+	sp.Attr("records", len(recs))
+	fq.SetCandidates(len(res.Covers))
+	res.Records = recordViews(l, recs)
+	writeExplain(w, res)
+}
+
+func writeExplain(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, "serve: "+err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"categorytree/internal/intset"
+	"categorytree/internal/ledger"
+	"categorytree/internal/obs"
+	"categorytree/internal/oct"
+	"categorytree/internal/sim"
+	"categorytree/internal/tree"
+)
+
+// provenanceTree is testTree with cover annotations, the way a real build
+// leaves them: shirts covers set 0 (merging must-partner set 1), cameras
+// covers set 2.
+func provenanceTree() *tree.Tree {
+	tr := tree.New(intset.Range(0, 6))
+	a := tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
+	a.Covers = []oct.SetID{0, 1}
+	b := tr.AddCategory(nil, intset.New(3, 4, 5), "cameras")
+	b.Covers = []oct.SetID{2}
+	return tr
+}
+
+func provenanceLedger() *ledger.Ledger {
+	return &ledger.Ledger{
+		Meta:    ledger.Meta{Variant: "threshold-jaccard", Delta: 0.6, Sets: 3, Universe: 6, Source: "full"},
+		Ranking: []int32{0, 1, 2},
+		Records: []ledger.Record{
+			{Kind: ledger.KindMustTogether, A: 0, B: 1, C: 2, X: 0.1, Y: 0.2},
+			{Kind: ledger.KindConflict2, A: 1, B: 2, C: 0, X: 0.3, Y: 0.4},
+			{Kind: ledger.KindKeep, Via: ledger.ViaExact, A: 0, X: 1},
+			{Kind: ledger.KindTrim, Via: ledger.ViaExact, A: 2, B: 0},
+			{Kind: ledger.KindPlace, Via: ledger.ViaRoot, A: 0, B: -1, C: 0},
+		},
+	}
+}
+
+// explainMux routes the explain endpoints the way octserve does, so
+// r.PathValue works.
+func explainMux(rd *Reader) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /explain/set/{id}", rd.ExplainSet)
+	mux.HandleFunc("GET /explain/category/{id}", rd.ExplainCategory)
+	return mux
+}
+
+func getMux(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestExplainSet(t *testing.T) {
+	reg := obs.NewRegistry()
+	pub := NewPublisher(reg, 0)
+	pub.PublishProvenance(provenanceTree(), provenanceLedger())
+	rd := NewReader(pub, Options{Variant: sim.CutoffJaccard, Delta: 0.3, Registry: reg})
+	mux := explainMux(rd)
+
+	rec := getMux(t, mux, "/explain/set/1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res ExplainSetResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Set != 1 || res.Source != "full" || res.Variant != "threshold-jaccard" {
+		t.Fatalf("res = %+v", res)
+	}
+	// Set 1 appears in the must-together edge and the 2-conflict.
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %+v", res.Records)
+	}
+	if res.Records[0].Kind != "must-together" || res.Records[1].Kind != "conflict2" {
+		t.Fatalf("kinds = %s, %s", res.Records[0].Kind, res.Records[1].Kind)
+	}
+	for _, rv := range res.Records {
+		if rv.Text == "" {
+			t.Fatalf("record %+v has no rendering", rv)
+		}
+	}
+
+	// Unknown set, bad id.
+	if rec := getMux(t, mux, "/explain/set/99"); rec.Code != 404 {
+		t.Fatalf("unknown set: status %d", rec.Code)
+	}
+	if rec := getMux(t, mux, "/explain/set/x"); rec.Code != 404 && rec.Code != 400 {
+		t.Fatalf("bad id: status %d", rec.Code)
+	}
+}
+
+func TestExplainCategory(t *testing.T) {
+	reg := obs.NewRegistry()
+	pub := NewPublisher(reg, 0)
+	snap := pub.PublishProvenance(provenanceTree(), provenanceLedger())
+	rd := NewReader(pub, Options{Variant: sim.CutoffJaccard, Delta: 0.3, Registry: reg})
+	mux := explainMux(rd)
+
+	// The shirts node covers sets 0 and 1; their stories overlap on the
+	// shared must-together edge, which must appear exactly once.
+	var shirts *tree.Node
+	for _, n := range snap.Tree.Categories() {
+		if n.Label == "shirts" {
+			shirts = n
+		}
+	}
+	if shirts == nil {
+		t.Fatal("no shirts node")
+	}
+	rec := getMux(t, mux, "/explain/category/"+itoa(shirts.ID))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res ExplainCategoryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Covers) != 2 {
+		t.Fatalf("covers = %v", res.Covers)
+	}
+	must := 0
+	for _, rv := range res.Records {
+		if rv.Kind == "must-together" {
+			must++
+		}
+	}
+	if must != 1 {
+		t.Fatalf("must-together deduped %d times: %+v", must, res.Records)
+	}
+	if rec := getMux(t, mux, "/explain/category/999"); rec.Code != 404 {
+		t.Fatalf("unknown category: status %d", rec.Code)
+	}
+}
+
+func TestExplainWithoutProvenance404(t *testing.T) {
+	reg := obs.NewRegistry()
+	pub := NewPublisher(reg, 0)
+	rd := NewReader(pub, Options{Variant: sim.CutoffJaccard, Delta: 0.3, Registry: reg})
+	mux := explainMux(rd)
+
+	// Before any publish.
+	if rec := getMux(t, mux, "/explain/set/0"); rec.Code != 404 {
+		t.Fatalf("pre-publish: status %d", rec.Code)
+	}
+	// Published, but the build ran without a ledger.
+	pub.Publish(provenanceTree())
+	rec := getMux(t, mux, "/explain/set/0")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "no provenance") {
+		t.Fatalf("no-ledger publish: status %d body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestExplainTranslatesStableIDs publishes a delta-build ledger whose
+// build-stage records are in compact IDs with a StableOf table, and asserts
+// the API speaks catalog (stable) IDs on both lookup and rendering.
+func TestExplainTranslatesStableIDs(t *testing.T) {
+	reg := obs.NewRegistry()
+	pub := NewPublisher(reg, 0)
+	l := provenanceLedger()
+	l.Meta.Source = "delta"
+	l.StableOf = []int32{0, 3, 5} // compact 1 is stable 3, compact 2 is stable 5
+	tr := tree.New(intset.Range(0, 6))
+	n := tr.AddCategory(nil, intset.New(0, 1, 2), "shirts")
+	n.Covers = []oct.SetID{0, 3} // covers carry stable IDs after a delta build
+	pub.PublishProvenance(tr, l)
+	rd := NewReader(pub, Options{Variant: sim.CutoffJaccard, Delta: 0.3, Registry: reg})
+	mux := explainMux(rd)
+
+	rec := getMux(t, mux, "/explain/set/3")
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var res ExplainSetResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %+v", res.Records)
+	}
+	// The must-together edge {0, 1} in compact space is {0, 3} in catalog IDs.
+	if res.Records[0].A != 0 || res.Records[0].B != 3 {
+		t.Fatalf("record not translated: %+v", res.Records[0])
+	}
+	// Compact ID 1 is not a catalog ID here: stable 1 is not in the build.
+	if rec := getMux(t, mux, "/explain/set/1"); rec.Code != 404 {
+		t.Fatalf("stale compact id: status %d", rec.Code)
+	}
+	// The category view folds stable covers back through the same table.
+	cat := getMux(t, mux, "/explain/category/"+itoa(n.ID))
+	if cat.Code != 200 {
+		t.Fatalf("category status %d: %s", cat.Code, cat.Body)
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

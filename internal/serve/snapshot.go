@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"categorytree/internal/ledger"
 	"categorytree/internal/obs"
 	"categorytree/internal/tree"
 )
@@ -36,9 +37,18 @@ type Snapshot struct {
 	Version uint64
 	// PublishedAt records when the snapshot went live.
 	PublishedAt time.Time
+	// Provenance is the sealed decision ledger of the build that produced
+	// Tree, or nil when the build ran without a recorder. Like the tree it
+	// is frozen at publish; the /explain endpoints read it.
+	Provenance *ledger.Ledger
 
-	cache *readCache
+	cache   *readCache
+	explain *ledger.Index // derived from Provenance at publish; nil with it
 }
+
+// Explain returns the snapshot's provenance index (nil when the build ran
+// without a ledger).
+func (s *Snapshot) Explain() *ledger.Index { return s.explain }
 
 // Cache returns the snapshot's response cache (nil when caching is
 // disabled).
@@ -84,11 +94,21 @@ func NewPublisher(reg *obs.Registry, cacheSize int) *Publisher {
 // must not be mutated after this call.
 //
 //oct:ctor the one sanctioned construction path for Snapshot
-func (p *Publisher) Publish(t *tree.Tree) *Snapshot {
+func (p *Publisher) Publish(t *tree.Tree) *Snapshot { return p.PublishProvenance(t, nil) }
+
+// PublishProvenance is Publish with the build's sealed decision ledger
+// attached, making the snapshot explainable: /explain answers come from
+// exactly the build that produced the tree being served, never a newer or
+// older one — the ledger rides the same atomic pointer swap.
+func (p *Publisher) PublishProvenance(t *tree.Tree, l *ledger.Ledger) *Snapshot {
 	// The expensive derivation runs before taking mu; the lock covers only
 	// version assignment and the pointer store, and only publishers contend
 	// on it — readers never touch it.
 	ix := tree.BuildReadIndex(t)
+	var ei *ledger.Index
+	if l != nil {
+		ei = ledger.NewIndex(l)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	snap := &Snapshot{
@@ -96,6 +116,8 @@ func (p *Publisher) Publish(t *tree.Tree) *Snapshot {
 		Index:       ix,
 		Version:     p.version.Add(1),
 		PublishedAt: time.Now(),
+		Provenance:  l,
+		explain:     ei,
 	}
 	if p.cacheSize > 0 {
 		snap.cache = newReadCache(p.cacheSize)
